@@ -1,0 +1,47 @@
+"""Benchmark-suite fixtures.
+
+Every bench regenerates the data behind one paper exhibit and saves it
+under ``results/`` (ASCII table + long-form CSV) while pytest-benchmark
+times a representative simulation run.  Pass ``--full`` for the paper-
+density parameter sets (slower); the default quick sets finish the whole
+suite in minutes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.util.svg import render_svg
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption("--full", action="store_true", default=False,
+                     help="run benches at paper density (slow)")
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    return not request.config.getoption("--full")
+
+
+@pytest.fixture(scope="session")
+def save_figure():
+    """Persist a FigureResult (or list of them) under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(figures):
+        if not isinstance(figures, (list, tuple)):
+            figures = [figures]
+        for fig in figures:
+            (RESULTS_DIR / f"{fig.fig_id}.txt").write_text(fig.to_ascii() + "\n")
+            (RESULTS_DIR / f"{fig.fig_id}.csv").write_text(fig.to_csv())
+            (RESULTS_DIR / f"{fig.fig_id}.svg").write_text(render_svg(fig))
+            print()
+            print(fig.to_ascii())
+        return figures
+
+    return _save

@@ -1,0 +1,130 @@
+"""Ablation benches: flip one modeled mechanism at a time.
+
+DESIGN.md section 5 calls out the load-bearing modeling decisions; each
+ablation here isolates one of them so its contribution to the reproduced
+shapes is measurable:
+
+* **lock fairness** -- the unfair (pthread-like) grant order is what lets
+  sequence numbers race network injection; a FIFO lock should slash the
+  out-of-sequence fraction for the single-instance case.
+* **match-structure migration** -- the cache-migration penalty explains
+  Table II's 3x match time under concurrent progress; without it the gap
+  should collapse.
+* **CRI lock convoy** -- the per-waiter handoff cost produces the single-
+  instance collapse (Fig 3a red); without it the base case recovers.
+* **wire jitter** -- cross-connection delivery jitter contributes
+  out-of-sequence arrivals for multi-instance runs.
+* **host pipeline gap** -- the per-process shared bottleneck caps the
+  concurrent-matching ceiling (Fig 3c / Fig 5 thread-vs-process gap).
+"""
+
+from repro.core import CostModel, ThreadingConfig
+from repro.netsim.ib import IB_EDR
+from repro.util.records import FigureResult, Series, SeriesPoint
+from repro.workloads import MultirateConfig, run_multirate
+
+PAIRS = 12
+BASE_CFG = MultirateConfig(pairs=PAIRS, window=64, windows=2)
+SINGLE = ThreadingConfig(num_instances=1, assignment="dedicated", progress="serial")
+MANY = ThreadingConfig(num_instances=PAIRS, assignment="dedicated", progress="serial")
+CONC = ThreadingConfig(num_instances=PAIRS, assignment="dedicated", progress="concurrent")
+
+
+def _fig(fig_id, title, rows):
+    fig = FigureResult(fig_id, title, "variant", "value")
+    for label, pairs in rows.items():
+        fig.series.append(Series(label, tuple(SeriesPoint(x, v) for x, v in pairs)))
+    return fig
+
+
+def test_ablation_lock_fairness(benchmark, save_figure):
+    """FIFO locks keep injection in sequence-number order."""
+    def run(fairness):
+        return run_multirate(BASE_CFG, threading=SINGLE, lock_fairness=fairness)
+
+    unfair = benchmark.pedantic(lambda: run("unfair"), rounds=2, iterations=1)
+    fair = run("fair")
+    fig = _fig("ablation-fairness", "OOS fraction vs lock fairness (1 instance)", {
+        "oos_fraction": [(0, unfair.spc.out_of_sequence_fraction),
+                         (1, fair.spc.out_of_sequence_fraction)],
+        "rate": [(0, unfair.message_rate), (1, fair.message_rate)],
+    })
+    fig.extra["x=0"] = "unfair (pthread-like)"
+    fig.extra["x=1"] = "fair (FIFO)"
+    save_figure(fig)
+    assert fair.spc.out_of_sequence_fraction < unfair.spc.out_of_sequence_fraction
+
+
+def test_ablation_match_migration(benchmark, save_figure):
+    """Without the migration penalty, concurrent progress's match-time
+    blowup (Table II) collapses."""
+    def run(migration_ns):
+        costs = CostModel().with_overrides(match_migration_ns=migration_ns)
+        return run_multirate(BASE_CFG, threading=CONC, costs=costs)
+
+    with_penalty = benchmark.pedantic(lambda: run(1800), rounds=2, iterations=1)
+    without = run(0)
+    fig = _fig("ablation-migration", "match time vs migration penalty (concurrent)", {
+        "match_time_ms": [(0, with_penalty.spc.match_time_ms),
+                          (1, without.spc.match_time_ms)],
+        "rate": [(0, with_penalty.message_rate), (1, without.message_rate)],
+    })
+    fig.extra["x=0"] = "migration 1800 ns"
+    fig.extra["x=1"] = "migration off"
+    save_figure(fig)
+    assert without.spc.match_time_ms < 0.7 * with_penalty.spc.match_time_ms
+
+
+def test_ablation_cri_convoy(benchmark, save_figure):
+    """Without the convoy term the single-instance send path recovers."""
+    def run(per_waiter):
+        costs = CostModel().with_overrides(lock_contended_per_waiter_ns=per_waiter)
+        return run_multirate(BASE_CFG, threading=SINGLE, costs=costs)
+
+    with_convoy = benchmark.pedantic(lambda: run(320), rounds=2, iterations=1)
+    without = run(0)
+    fig = _fig("ablation-convoy", "1-instance rate vs convoy cost", {
+        "rate": [(0, with_convoy.message_rate), (1, without.message_rate)],
+    })
+    fig.extra["x=0"] = "convoy 320 ns/waiter"
+    fig.extra["x=1"] = "convoy off"
+    save_figure(fig)
+    assert without.message_rate > with_convoy.message_rate
+
+
+def test_ablation_wire_jitter(benchmark, save_figure):
+    """Without wire jitter, multi-instance OOS comes only from software
+    races and CQ draining -- it should drop measurably."""
+    def run(jitter):
+        return run_multirate(BASE_CFG, threading=MANY,
+                             fabric=IB_EDR.with_overrides(wire_jitter_ns=jitter))
+
+    jittered = benchmark.pedantic(lambda: run(400), rounds=2, iterations=1)
+    clean = run(0)
+    fig = _fig("ablation-jitter", "OOS fraction vs wire jitter (12 instances)", {
+        "oos_fraction": [(0, jittered.spc.out_of_sequence_fraction),
+                         (1, clean.spc.out_of_sequence_fraction)],
+    })
+    fig.extra["x=0"] = "jitter 400 ns"
+    fig.extra["x=1"] = "jitter off"
+    save_figure(fig)
+    assert clean.spc.out_of_sequence_fraction <= jittered.spc.out_of_sequence_fraction
+
+
+def test_ablation_host_gap(benchmark, save_figure):
+    """The host pipeline gap caps the concurrent-matching ceiling."""
+    cfg = BASE_CFG.with_overrides(comm_per_pair=True)
+
+    def run(gap):
+        return run_multirate(cfg, threading=CONC,
+                             costs=CostModel().with_overrides(host_gap_ns=gap))
+
+    capped = benchmark.pedantic(lambda: run(340), rounds=2, iterations=1)
+    uncapped = run(0)
+    fig = _fig("ablation-hostgap", "concurrent-matching rate vs host gap", {
+        "rate": [(0, capped.message_rate), (1, uncapped.message_rate)],
+    })
+    fig.extra["x=0"] = "gap 340 ns"
+    fig.extra["x=1"] = "gap off"
+    save_figure(fig)
+    assert uncapped.message_rate > capped.message_rate

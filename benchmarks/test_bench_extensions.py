@@ -1,0 +1,41 @@
+"""Extension exhibits: message-size sweep, CRI-count sweep, binding modes."""
+
+from repro.experiments import (
+    run_entity_modes,
+    run_instance_sweep,
+    run_latency_tails,
+    run_message_size_sweep,
+)
+
+
+def test_ext_msgsize(benchmark, save_figure, quick):
+    fig = benchmark.pedantic(
+        lambda: run_message_size_sweep(quick=quick, trials=1),
+        rounds=1, iterations=1)
+    save_figure(fig)
+    rate = fig.get("rate")
+    assert rate.at(0).mean > rate.at(262144).mean  # bandwidth bound at the top
+
+
+def test_ext_instances(benchmark, save_figure, quick):
+    fig = benchmark.pedantic(
+        lambda: run_instance_sweep(quick=quick, trials=1),
+        rounds=1, iterations=1)
+    save_figure(fig)
+    assert len(fig.series) == 2
+
+
+def test_ext_latency(benchmark, save_figure, quick):
+    fig = benchmark.pedantic(
+        lambda: run_latency_tails(quick=quick, trials=1),
+        rounds=1, iterations=1)
+    save_figure(fig)
+    assert len(fig.series) == 3
+
+
+def test_ext_modes(benchmark, save_figure, quick):
+    fig = benchmark.pedantic(
+        lambda: run_entity_modes(quick=quick, trials=1),
+        rounds=1, iterations=1)
+    save_figure(fig)
+    assert set(fig.labels) == {"threads", "processes", "hybrid"}

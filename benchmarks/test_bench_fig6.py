@@ -1,0 +1,21 @@
+"""Figure 6: RMA-MT put+flush on the Haswell/Aries preset."""
+
+from repro.core import ThreadingConfig
+from repro.experiments import TRINITITE_HASWELL, run_figure6
+from repro.workloads import RmaMtConfig, run_rmamt
+
+
+def test_fig6(benchmark, save_figure, quick):
+    def one_point():
+        return run_rmamt(
+            RmaMtConfig(threads=16, ops_per_thread=150, msg_bytes=128),
+            threading=ThreadingConfig(
+                num_instances=TRINITITE_HASWELL.default_instances,
+                assignment="dedicated"),
+            costs=TRINITITE_HASWELL.costs, fabric=TRINITITE_HASWELL.fabric)
+
+    benchmark.pedantic(one_point, rounds=3, iterations=1)
+
+    figs = run_figure6(quick=quick, trials=1 if quick else 3)
+    save_figure(figs)
+    assert len(figs) == 5  # one per message size

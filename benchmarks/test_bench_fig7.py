@@ -1,0 +1,21 @@
+"""Figure 7: RMA-MT put+flush on the KNL/Aries preset (1-64 threads)."""
+
+from repro.core import ThreadingConfig
+from repro.experiments import TRINITITE_KNL, run_figure7
+from repro.workloads import RmaMtConfig, run_rmamt
+
+
+def test_fig7(benchmark, save_figure, quick):
+    def one_point():
+        return run_rmamt(
+            RmaMtConfig(threads=32, ops_per_thread=100, msg_bytes=128),
+            threading=ThreadingConfig(
+                num_instances=TRINITITE_KNL.default_instances,
+                assignment="dedicated"),
+            costs=TRINITITE_KNL.costs, fabric=TRINITITE_KNL.fabric)
+
+    benchmark.pedantic(one_point, rounds=3, iterations=1)
+
+    figs = run_figure7(quick=quick, trials=1 if quick else 3)
+    save_figure(figs)
+    assert figs[0].get("dedicated/serial").points[-1].x == 64

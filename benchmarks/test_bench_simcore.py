@@ -1,0 +1,97 @@
+"""Host-performance microbenchmarks of the simulation core.
+
+Unlike the exhibit benches (which report *virtual-time* results), these
+measure how fast the simulator itself runs on the host: scheduler event
+throughput, lock churn, match-queue operations, and end-to-end simulated
+messages per host second.  They guard against regressions that would make
+the full sweeps unusably slow.
+"""
+
+from repro.mpi.constants import ANY_TAG
+from repro.mpi.matchqueue import MatchQueue
+from repro.simthread import Delay, Scheduler, SimLock
+from repro.workloads import MultirateConfig, run_multirate
+
+
+def test_scheduler_event_throughput(benchmark):
+    N_THREADS, N_STEPS = 20, 500
+
+    def run():
+        sched = Scheduler(seed=1)
+
+        def worker():
+            for _ in range(N_STEPS):
+                yield Delay(100)
+
+        for _ in range(N_THREADS):
+            sched.spawn(worker())
+        sched.run()
+        return sched.events_processed
+
+    events = benchmark(run)
+    assert events >= N_THREADS * N_STEPS
+
+
+def test_lock_contention_throughput(benchmark):
+    N_THREADS, N_CRIT = 8, 200
+
+    def run():
+        sched = Scheduler(seed=2)
+        lock = SimLock(sched)
+
+        def worker():
+            for _ in range(N_CRIT):
+                yield from lock.acquire()
+                yield Delay(50)
+                yield from lock.release()
+
+        for _ in range(N_THREADS):
+            sched.spawn(worker())
+        sched.run()
+        return lock.acquisitions
+
+    acquisitions = benchmark(run)
+    assert acquisitions == N_THREADS * N_CRIT
+
+
+def test_matchqueue_throughput(benchmark):
+    N = 2000
+
+    def run():
+        q = MatchQueue(entry_wildcards=True)
+        for i in range(N):
+            q.insert(i % 4, i % 16, i)
+        matched = 0
+        for i in range(N):
+            if q.match(i % 4, i % 16) is not None:
+                matched += 1
+        return matched
+
+    matched = benchmark(run)
+    assert matched == N
+
+
+def test_matchqueue_wildcard_throughput(benchmark):
+    N = 1500
+
+    def run():
+        q = MatchQueue(entry_wildcards=True)
+        for i in range(N):
+            q.insert(0, ANY_TAG if i % 3 == 0 else i % 8, i)
+        matched = 0
+        while q.match(0, 5) is not None:
+            matched += 1
+        return matched
+
+    matched = benchmark(run)
+    assert matched > 0
+
+
+def test_end_to_end_messages_per_host_second(benchmark):
+    cfg = MultirateConfig(pairs=4, window=32, windows=2)
+
+    def run():
+        return run_multirate(cfg)
+
+    result = benchmark(run)
+    assert result.messages == 256

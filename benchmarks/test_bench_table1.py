@@ -1,0 +1,10 @@
+"""Table I: testbed configuration table (regeneration is trivial; the
+benchmark times preset construction + rendering)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, save_figure):
+    fig = benchmark(run_table1)
+    save_figure(fig)
+    assert "alembert" in fig.to_ascii()

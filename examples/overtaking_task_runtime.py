@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Message overtaking for a task-runtime-style workload (paper section IV-D).
+
+The paper suggests ``mpi_assert_allow_overtaking`` suits applications that
+do not rely on message ordering, "such as task-based runtimes".  This
+example sketches exactly that: a master process whose worker threads pull
+self-describing task messages with ``MPI_ANY_TAG`` -- no ordering needed,
+each message says what it is.
+
+It runs the same task stream twice -- once on an ordinary communicator and
+once with overtaking asserted -- and compares throughput and the
+out-of-sequence buffering the ordinary run had to do.
+
+Run:  python examples/overtaking_task_runtime.py
+"""
+
+from repro import ANY_TAG, Info, MpiWorld, Scheduler, ThreadingConfig
+from repro.mpi.info import ALLOW_OVERTAKING
+
+N_PRODUCERS = 8
+N_WORKERS = 8
+TASKS_PER_PRODUCER = 120
+
+
+def producer(env, comm, producer_id):
+    """Submit self-describing task messages (the tag encodes the task)."""
+    for i in range(TASKS_PER_PRODUCER):
+        task_id = producer_id * TASKS_PER_PRODUCER + i
+        yield from env.send(comm, dst=1, tag=task_id % 1000,
+                            payload=("task", task_id))
+
+
+def worker(env, comm, done, quota):
+    """Pull whatever task is ready next: ordering is irrelevant, the tag
+    is just the task's self-description."""
+    for _ in range(quota):
+        data, status = yield from env.recv(comm, src=0, tag=ANY_TAG)
+        kind, task_id = data
+        assert kind == "task"
+        done["completed"].append(task_id)
+
+
+def run(allow_overtaking):
+    sched = Scheduler(seed=99)
+    world = MpiWorld(sched, nprocs=2,
+                     config=ThreadingConfig(num_instances=N_PRODUCERS,
+                                            assignment="dedicated",
+                                            progress="concurrent"))
+    info = Info({ALLOW_OVERTAKING: allow_overtaking})
+    comm = world.create_comm((0, 1), info=info, name="tasks")
+
+    total = N_PRODUCERS * TASKS_PER_PRODUCER
+    done = {"completed": []}
+    for p in range(N_PRODUCERS):
+        sched.spawn(producer(world.env(0, f"producer-{p}"), comm, p))
+    for w in range(N_WORKERS):
+        sched.spawn(worker(world.env(1, f"worker-{w}"), comm, done,
+                           total // N_WORKERS))
+    elapsed = sched.run()
+
+    assert sorted(done["completed"]) == list(range(total))
+    spc = world.processes[1].spc
+    return total / (elapsed / 1e9), spc
+
+
+def main():
+    plain_rate, plain_spc = run(allow_overtaking=False)
+    over_rate, over_spc = run(allow_overtaking=True)
+
+    print(f"{'':28} {'ordered':>14} {'overtaking':>14}")
+    print(f"{'task throughput (tasks/s)':28} {plain_rate:>14,.0f} {over_rate:>14,.0f}")
+    print(f"{'out-of-sequence buffered':28} {plain_spc.out_of_sequence:>14} "
+          f"{over_spc.out_of_sequence:>14}")
+    print(f"{'match time (ms)':28} {plain_spc.match_time_ms:>14.2f} "
+          f"{over_spc.match_time_ms:>14.2f}")
+    print(f"\novertaking speedup: {over_rate / plain_rate:.2f}x "
+          f"(every task message matched on arrival; nothing buffered)")
+
+
+if __name__ == "__main__":
+    main()

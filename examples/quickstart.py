@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: build a two-process world, exchange messages, read SPCs.
+
+This is the smallest end-to-end tour of the library:
+
+1. create a scheduler (virtual time) and an MPI world with the paper's
+   CRI design knobs;
+2. spawn simulated threads that talk MPI (note every potentially-blocking
+   MPI call is a generator driven with ``yield from``);
+3. run the simulation and inspect rates and software performance counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MpiWorld, Scheduler, ThreadingConfig
+
+
+def sender(env, comm, n_messages):
+    """Simulated application thread: blocking sends with a payload."""
+    for i in range(n_messages):
+        yield from env.send(comm, dst=1, tag=7, nbytes=8, payload=i)
+
+
+def receiver(env, comm, n_messages):
+    """Blocking receives; returns payloads in the order they matched."""
+    received = []
+    for _ in range(n_messages):
+        data, status = yield from env.recv(comm, src=0, tag=7)
+        received.append(data)
+    return received
+
+
+def main():
+    n_messages = 500
+    sched = Scheduler(seed=2026)
+    world = MpiWorld(
+        sched,
+        nprocs=2,
+        config=ThreadingConfig(num_instances=4, assignment="dedicated",
+                               progress="concurrent"),
+    )
+    comm = world.comm_world
+
+    sched.spawn(sender(world.env(0, "app-sender"), comm, n_messages))
+    recv_thread = sched.spawn(receiver(world.env(1, "app-receiver"), comm, n_messages))
+
+    elapsed_ns = sched.run()
+
+    assert recv_thread.result == list(range(n_messages)), "FIFO order violated?!"
+    rate = n_messages / (elapsed_ns / 1e9)
+    print(f"exchanged {n_messages} messages in {elapsed_ns / 1e6:.3f} ms "
+          f"of virtual time ({rate / 1e6:.2f} M msg/s)")
+
+    spc = world.processes[1].spc
+    print("receiver-side software performance counters:")
+    for key, value in spc.as_dict().items():
+        print(f"  {key:32s} {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` on toolchains without
+the `wheel` package (PEP 660 editable builds need it; `setup.py develop`
+does not)."""
+
+from setuptools import setup
+
+setup()

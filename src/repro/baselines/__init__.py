@@ -1,0 +1,9 @@
+"""Baseline MPI-implementation profiles for the state-of-the-art study."""
+
+from repro.baselines.profiles import (
+    FIGURE5_PROFILES,
+    ImplementationProfile,
+    profile_by_name,
+)
+
+__all__ = ["FIGURE5_PROFILES", "ImplementationProfile", "profile_by_name"]

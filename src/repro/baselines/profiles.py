@@ -1,0 +1,60 @@
+"""Implementation profiles: the Figure 5 state-of-the-art comparison.
+
+The paper compares Open MPI 4.0.0 (with and without its modifications),
+Intel MPI 2018.1 and MPICH 3.3, each in process mode and thread mode.  We
+cannot run those binaries; instead each is a *profile*: the structural
+design it uses (instance count, assignment, progress, matching scope) plus
+mild cost-model adjustments reflecting that implementations differ a
+little in per-message software overhead.  The paper's own observation is
+that structure dominates: "there is little difference between MPI
+implementations [in thread mode] -- they all perform similarly poorly",
+while every implementation's process mode scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import CostModel, ThreadingConfig
+
+
+@dataclass(frozen=True)
+class ImplementationProfile:
+    """One line of the Figure 5 comparison."""
+
+    name: str
+    entity_mode: str                       #: "threads" or "processes"
+    config: ThreadingConfig = field(default_factory=ThreadingConfig)
+    comm_per_pair: bool = False
+    #: multiplicative tweak on all software costs (vendor tuning delta)
+    cost_scale: float = 1.0
+
+    def costs(self, base: CostModel | None = None) -> CostModel:
+        base = base or CostModel()
+        return base if self.cost_scale == 1.0 else base.scaled(self.cost_scale)
+
+
+_BASE = ThreadingConfig(num_instances=1, assignment="dedicated", progress="serial")
+_CRIS = ThreadingConfig(num_instances=20, assignment="dedicated", progress="serial")
+_CRIS_STAR = ThreadingConfig(num_instances=20, assignment="dedicated", progress="concurrent")
+
+#: Figure 5's eight lines.  "OMPI Thread + CRIs*" is the paper's most
+#: optimistic configuration: CRIs + concurrent progress + concurrent
+#: matching (communicator per pair).
+FIGURE5_PROFILES: tuple[ImplementationProfile, ...] = (
+    ImplementationProfile("OMPI Process", "processes", _BASE),
+    ImplementationProfile("OMPI Thread", "threads", _BASE),
+    ImplementationProfile("OMPI Thread + CRIs", "threads", _CRIS),
+    ImplementationProfile("OMPI Thread + CRIs*", "threads", _CRIS_STAR, comm_per_pair=True),
+    ImplementationProfile("IMPI Process", "processes", _BASE, cost_scale=0.92),
+    ImplementationProfile("IMPI Thread", "threads", _BASE, cost_scale=0.92),
+    ImplementationProfile("MPICH Process", "processes", _BASE, cost_scale=1.08),
+    ImplementationProfile("MPICH Thread", "threads", _BASE, cost_scale=1.08),
+)
+
+
+def profile_by_name(name: str) -> ImplementationProfile:
+    for p in FIGURE5_PROFILES:
+        if p.name == name:
+            return p
+    raise KeyError(f"unknown profile {name!r}; have {[p.name for p in FIGURE5_PROFILES]}")

@@ -1,0 +1,83 @@
+"""Command-line interface: regenerate paper exhibits from a shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro testbeds
+    python -m repro run fig3a
+    python -m repro run fig6 --full --out results/
+    python -m repro run all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Give MPI Threading a Fair Chance' (CLUSTER'19) exhibits")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("testbeds", help="print the simulated testbed presets (Table I)")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument("--full", action="store_true",
+                     help="paper-density parameters (slow)")
+    run.add_argument("--out", type=pathlib.Path, default=None,
+                     help="also save ASCII + CSV under this directory")
+    return parser
+
+
+def _save(fig, out_dir: pathlib.Path) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{fig.fig_id}.txt").write_text(fig.to_ascii() + "\n")
+    (out_dir / f"{fig.fig_id}.csv").write_text(fig.to_csv())
+
+
+def _emit(result, out_dir) -> None:
+    figures = result if isinstance(result, (list, tuple)) else [result]
+    for fig in figures:
+        print(fig.to_ascii())
+        print()
+        if out_dir is not None:
+            _save(fig, out_dir)
+
+
+def main(argv=None) -> int:
+    from repro.experiments import EXPERIMENTS, TESTBEDS, run_experiment
+
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for exp_id, exp in EXPERIMENTS.items():
+            print(f"{exp_id:<{width}}  {exp.description}")
+        return 0
+
+    if args.command == "testbeds":
+        for name, tb in TESTBEDS.items():
+            print(f"== {name} ==")
+            for key, value in tb.as_row().items():
+                print(f"  {key:<14} {value}")
+        return 0
+
+    # run
+    quick = not args.full
+    if args.experiment == "all":
+        for exp_id in EXPERIMENTS:
+            print(f"--- running {exp_id} ---")
+            _emit(run_experiment(exp_id, quick=quick), args.out)
+        return 0
+    try:
+        result = run_experiment(args.experiment, quick=quick)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    _emit(result, args.out)
+    return 0

@@ -1,0 +1,37 @@
+"""The paper's primary contribution: Communication Resource Instances.
+
+Three cooperating pieces, mirroring section III of the paper:
+
+* :class:`~repro.core.cri.CRI` -- one Communication Resource Instance: a
+  network context (+ its completion queue) plus a per-instance lock.
+* :class:`~repro.core.pool.CRIPool` -- allocates instances and assigns
+  them to threads with the *round-robin* (atomic counter) or *dedicated*
+  (thread-local storage) strategy of Algorithm 1, including the
+  fewer-instances-than-threads fallback required by hardware context
+  limits (Cray Aries).
+* :mod:`~repro.core.progress` -- the progress engines: the traditional
+  *serial* engine that admits a single thread at a time, and the
+  *concurrent* engine of Algorithm 2 where threads progress their
+  dedicated instance first under try-locks and help other instances when
+  idle, guaranteeing every instance is eventually progressed.
+
+:class:`~repro.core.config.ThreadingConfig` bundles the knobs a run
+selects (instance count, assignment strategy, progress mode), and
+:class:`~repro.core.config.CostModel` holds every calibrated software cost
+in virtual nanoseconds.
+"""
+
+from repro.core.config import CostModel, ThreadingConfig
+from repro.core.cri import CRI
+from repro.core.pool import CRIPool
+from repro.core.progress import ConcurrentProgress, SerialProgress, make_progress_engine
+
+__all__ = [
+    "CRI",
+    "CRIPool",
+    "ConcurrentProgress",
+    "CostModel",
+    "SerialProgress",
+    "ThreadingConfig",
+    "make_progress_engine",
+]

@@ -1,0 +1,94 @@
+"""The CRI pool and Algorithm 1's thread-to-instance assignment.
+
+The pool is the paper's "centralized body to assign the allocated
+instances to threads".  Two strategies:
+
+* **round-robin** (``GET-INSTANCE-ID--ROUND-ROBIN``): an atomic counter
+  hands out instances first-come first-served per call.  No lock
+  contention on the counter itself (a cheap atomic), good load balancing,
+  but a thread's consecutive operations land on different instances --
+  which costs an instance-switch penalty and spreads one sequence stream
+  over many connections.
+* **dedicated** (``GET-INSTANCE-ID--DEDICATED``): first touch assigns via
+  round-robin and caches the instance in thread-local storage; every later
+  call is a TLS hit.  With threads <= instances this eliminates instance
+  lock contention entirely; with more threads than instances (hardware
+  context limits), threads share instances and contention reappears --
+  the pool supports both, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DEDICATED, ROUND_ROBIN, CostModel, ThreadingConfig
+from repro.core.cri import CRI
+from repro.simthread.atomics import AtomicCounter
+from repro.simthread.scheduler import Delay
+from repro.simthread.tls import ThreadLocal
+
+
+class CRIPool:
+    """Allocates CRIs on one process's NIC and assigns them to threads."""
+
+    def __init__(self, sched, nic, config: ThreadingConfig, costs: CostModel,
+                 lock_fairness: str = "unfair"):
+        self.sched = sched
+        self.config = config
+        self.costs = costs
+        self.instances: list[CRI] = []
+        for i in range(config.num_instances):
+            ctx = nic.create_context()
+            self.instances.append(CRI(sched, i, ctx, costs.cri_lock_costs(), lock_fairness))
+        self._rr = AtomicCounter(sched, cost_ns=costs.atomic_rmw_ns)
+        self._tls = ThreadLocal(sched)
+        self._last_used = ThreadLocal(sched)
+        self.switches = 0
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def get_instance_round_robin(self):
+        """Generator: next instance via the shared atomic counter."""
+        ticket = yield from self._rr.fetch_add()
+        return self.instances[ticket % len(self.instances)]
+
+    def get_instance_dedicated(self):
+        """Generator: this thread's permanent instance (TLS-cached)."""
+        cri = self._tls.get()
+        if cri is None:
+            cri = yield from self.get_instance_round_robin()
+            self._tls.set(cri)
+        return cri
+
+    def get_instance(self, switch_ns: int | None = None):
+        """Generator: assignment per the configured strategy, charging the
+        instance-switch penalty when the thread changes instance.
+
+        ``switch_ns`` overrides the penalty; one-sided callers pass the
+        larger RMA value (re-arming endpoint/rkey state on a different
+        context costs far more than touching a warm one, which is much of
+        why round-robin trails dedicated so badly in Figures 6 and 7).
+        """
+        if self.config.assignment == DEDICATED:
+            cri = yield from self.get_instance_dedicated()
+        else:
+            cri = yield from self.get_instance_round_robin()
+        last = self._last_used.get()
+        if last is not None and last is not cri:
+            self.switches += 1
+            yield Delay(self.costs.instance_switch_ns if switch_ns is None else switch_ns)
+        self._last_used.set(cri)
+        return cri
+
+    def dedicated_index(self):
+        """Generator: index of this thread's dedicated instance (Algorithm 2
+        uses it to prioritize before helping others)."""
+        cri = yield from self.get_instance_dedicated()
+        return cri.index
+
+    def round_robin_index(self):
+        """Generator: next round-robin index (Algorithm 2's fallback scan)."""
+        ticket = yield from self._rr.fetch_add()
+        return ticket % len(self.instances)

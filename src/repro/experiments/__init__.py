@@ -1,0 +1,55 @@
+"""Experiment harness: one runner per paper table/figure.
+
+Each ``run_*`` function regenerates the data behind one exhibit of the
+paper's evaluation section and returns a
+:class:`~repro.util.records.FigureResult` that renders to ASCII (the rows
+the paper plots) and CSV.  ``quick=True`` (the default) uses reduced
+message counts and a sparser x-axis so the whole suite finishes in
+minutes; ``quick=False`` runs the denser, slower version.
+
+See DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.experiments.testbeds import (
+    ALEMBERT,
+    TESTBEDS,
+    TRINITITE_HASWELL,
+    TRINITITE_KNL,
+    Testbed,
+)
+from repro.experiments.extensions import (
+    run_entity_modes,
+    run_instance_sweep,
+    run_latency_tails,
+    run_message_size_sweep,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.table2 import run_table2
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ALEMBERT",
+    "EXPERIMENTS",
+    "TESTBEDS",
+    "TRINITITE_HASWELL",
+    "TRINITITE_KNL",
+    "Testbed",
+    "run_experiment",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_entity_modes",
+    "run_instance_sweep",
+    "run_latency_tails",
+    "run_message_size_sweep",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,155 @@
+"""Extension exhibits beyond the paper's figures.
+
+Three studies the paper's text motivates but does not plot:
+
+* :func:`run_message_size_sweep` -- two-sided message rate vs message
+  size, showing the eager-to-rendezvous protocol crossover and the
+  bandwidth asymptote (the paper only measures zero-byte envelopes);
+* :func:`run_instance_sweep` -- message rate vs number of CRIs at a
+  fixed thread count: how many instances does it take to buy the
+  concurrent-send benefit (section III-B's sizing question, which the
+  paper answers only at 1/10/20);
+* :func:`run_entity_modes` -- the three Figure 2 binding modes measured
+  head-to-head (threads vs processes vs hybrid) over pair counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ThreadingConfig
+from repro.experiments.sweep import series_from_sweep
+from repro.experiments.testbeds import ALEMBERT, Testbed
+from repro.util.records import FigureResult
+from repro.workloads.multirate import MultirateConfig, run_multirate
+
+SIZE_AXIS = (0, 64, 512, 2048, 8192, 16384, 65536, 262144)
+INSTANCE_AXIS = (1, 2, 4, 6, 8, 12, 16, 20, 26, 32)
+MODE_PAIRS_AXIS = (1, 2, 4, 8, 12, 16)
+
+
+def run_message_size_sweep(quick: bool = True, testbed: Testbed = ALEMBERT,
+                           trials: int | None = None, pairs: int = 8) -> FigureResult:
+    """Message rate vs message size (eager/rendezvous crossover)."""
+    trials = trials if trials is not None else (1 if quick else 3)
+    window = 32 if quick else 64
+    windows = 2
+
+    fig = FigureResult(
+        fig_id="ext-msgsize",
+        title=f"Two-sided message rate vs size ({pairs} pairs, dedicated CRIs)",
+        xlabel="message bytes",
+        ylabel="message rate (msg/s)",
+    )
+    threading = ThreadingConfig(num_instances=pairs, assignment="dedicated",
+                                progress="concurrent")
+
+    def point(nbytes, seed):
+        cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+                              msg_bytes=int(nbytes), comm_per_pair=True,
+                              seed=seed)
+        return run_multirate(cfg, threading=threading, costs=testbed.costs,
+                             fabric=testbed.fabric).message_rate
+
+    fig.series.append(series_from_sweep("rate", SIZE_AXIS, point, trials))
+    fig.extra["eager_limit_bytes"] = testbed.costs.eager_limit_bytes
+    fig.extra["testbed"] = testbed.name
+    return fig
+
+
+def run_instance_sweep(quick: bool = True, testbed: Testbed = ALEMBERT,
+                       trials: int | None = None, pairs: int = 20) -> FigureResult:
+    """Message rate vs CRI count at a fixed thread-pair count."""
+    trials = trials if trials is not None else (1 if quick else 3)
+    window = 48 if quick else 128
+    windows = 2
+
+    fig = FigureResult(
+        fig_id="ext-instances",
+        title=f"Message rate vs number of CRIs ({pairs} thread pairs)",
+        xlabel="instances",
+        ylabel="message rate (msg/s)",
+    )
+    for progress, comm_per_pair, label in (
+            ("serial", False, "serial progress"),
+            ("concurrent", True, "concurrent progress + matching")):
+        def point(instances, seed, p=progress, cpp=comm_per_pair):
+            cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+                                  comm_per_pair=cpp, seed=seed)
+            threading = ThreadingConfig(num_instances=int(instances),
+                                        assignment="dedicated", progress=p)
+            return run_multirate(cfg, threading=threading, costs=testbed.costs,
+                                 fabric=testbed.fabric).message_rate
+
+        fig.series.append(series_from_sweep(label, INSTANCE_AXIS, point, trials))
+    fig.extra["testbed"] = testbed.name
+    return fig
+
+
+def run_latency_tails(quick: bool = True, testbed: Testbed = ALEMBERT,
+                      trials: int | None = None) -> FigureResult:
+    """p99 delivery latency vs thread pairs for the three designs.
+
+    The paper reports rates; the same contention mechanisms also stretch
+    the latency *tail*: a message parked behind an out-of-sequence gap or
+    a convoying instance lock waits far beyond the median.  Concurrent
+    matching, which removes both, should flatten the tail.
+    """
+    trials = trials if trials is not None else 1
+    window = 48 if quick else 128
+    pairs_axis = (1, 4, 8, 12, 16, 20) if quick else tuple(range(1, 21))
+
+    designs = (
+        ("original (1 CRI, serial)",
+         ThreadingConfig(num_instances=1, assignment="dedicated",
+                         progress="serial"), False),
+        ("CRIs (serial progress)",
+         ThreadingConfig(num_instances=20, assignment="dedicated",
+                         progress="serial"), False),
+        ("CRIs + concurrent matching",
+         ThreadingConfig(num_instances=20, assignment="dedicated",
+                         progress="concurrent"), True),
+    )
+
+    fig = FigureResult(
+        fig_id="ext-latency",
+        title="p99 message delivery latency vs thread pairs",
+        xlabel="thread pairs",
+        ylabel="p99 latency (ns)",
+    )
+    for label, threading, comm_per_pair in designs:
+        def point(pairs, seed, t=threading, cpp=comm_per_pair):
+            cfg = MultirateConfig(pairs=int(pairs), window=window, windows=2,
+                                  comm_per_pair=cpp, seed=seed)
+            result = run_multirate(cfg, threading=t, costs=testbed.costs,
+                                   fabric=testbed.fabric)
+            return result.latency["p99_ns"]
+
+        fig.series.append(series_from_sweep(label, pairs_axis, point, trials))
+    fig.extra["testbed"] = testbed.name
+    return fig
+
+
+def run_entity_modes(quick: bool = True, testbed: Testbed = ALEMBERT,
+                     trials: int | None = None) -> FigureResult:
+    """The Figure 2 binding modes compared: threads vs processes vs hybrid."""
+    trials = trials if trials is not None else (1 if quick else 3)
+    window = 48 if quick else 128
+    windows = 2
+    threading = ThreadingConfig(num_instances=16, assignment="dedicated",
+                                progress="serial")
+
+    fig = FigureResult(
+        fig_id="ext-modes",
+        title="Entity binding modes (Figure 2): pairwise 0-byte rate",
+        xlabel="communication pairs",
+        ylabel="message rate (msg/s)",
+    )
+    for mode in ("threads", "hybrid", "processes"):
+        def point(pairs, seed, m=mode):
+            cfg = MultirateConfig(pairs=int(pairs), window=window,
+                                  windows=windows, entity_mode=m, seed=seed)
+            return run_multirate(cfg, threading=threading, costs=testbed.costs,
+                                 fabric=testbed.fabric).message_rate
+
+        fig.series.append(series_from_sweep(mode, MODE_PAIRS_AXIS, point, trials))
+    fig.extra["testbed"] = testbed.name
+    return fig

@@ -1,0 +1,101 @@
+"""Figure 3: zero-byte message rate under the three design strategies.
+
+Three panels, each sweeping thread pairs on the Alembert preset with
+instances in {1, 10, 20} under both assignment strategies:
+
+* **(a) serial progress** -- only concurrent sends enabled; shows the
+  single-instance send-path collapse and the ~2x gain from CRIs.
+* **(b) concurrent progress** -- progress parallelized but matching still
+  shared; the bottleneck moves to the matching lock and rates *drop*.
+* **(c) concurrent progress + concurrent matching** -- one communicator
+  per pair; rates finally scale with threads.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ThreadingConfig
+from repro.experiments.sweep import series_from_sweep
+from repro.experiments.testbeds import ALEMBERT, Testbed
+from repro.util.records import FigureResult
+from repro.workloads.multirate import MultirateConfig, run_multirate
+
+PANELS = {
+    "a": ("serial", False, "Serial Progress"),
+    "b": ("concurrent", False, "Concurrent Progress"),
+    "c": ("concurrent", True, "Concurrent Progress + Concurrent Matching"),
+}
+
+#: (num_instances, assignment) series plotted in each panel.
+SERIES_SPECS = (
+    (1, "round_robin"),
+    (1, "dedicated"),
+    (10, "round_robin"),
+    (10, "dedicated"),
+    (20, "round_robin"),
+    (20, "dedicated"),
+)
+
+QUICK_PAIRS = (1, 2, 4, 6, 8, 12, 16, 20)
+FULL_PAIRS = tuple(range(1, 21))
+
+
+def series_label(instances: int, assignment: str) -> str:
+    mode = "rr" if assignment == "round_robin" else "ded"
+    return f"{instances}-{mode}"
+
+
+def _multirate_point(panel: str, instances: int, assignment: str,
+                     pairs: int, seed: int, testbed: Testbed,
+                     window: int, windows: int,
+                     allow_overtaking: bool = False,
+                     any_tag: bool = False) -> float:
+    progress, comm_per_pair, _ = PANELS[panel]
+    cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+                          msg_bytes=0, entity_mode="threads",
+                          comm_per_pair=comm_per_pair,
+                          allow_overtaking=allow_overtaking,
+                          any_tag=any_tag, seed=seed)
+    threading = ThreadingConfig(num_instances=instances,
+                                assignment=assignment, progress=progress)
+    result = run_multirate(cfg, threading=threading, costs=testbed.costs,
+                           fabric=testbed.fabric)
+    return result.message_rate
+
+
+def run_figure3(panel: str = "a", quick: bool = True,
+                testbed: Testbed = ALEMBERT, trials: int | None = None,
+                _overtaking: bool = False, _any_tag: bool = False,
+                _fig_id_prefix: str = "fig3") -> FigureResult:
+    """Regenerate one panel of Figure 3.
+
+    Returns a FigureResult with one series per (instances, assignment)
+    combination; x = thread pairs, y = aggregate messages/second.
+    """
+    if panel not in PANELS:
+        raise ValueError(f"panel must be one of {sorted(PANELS)}, got {panel!r}")
+    pairs_axis = QUICK_PAIRS if quick else FULL_PAIRS
+    window = 64 if quick else 128
+    windows = 2 if quick else 4
+    trials = trials if trials is not None else (2 if quick else 3)
+    _, _, title = PANELS[panel]
+
+    fig = FigureResult(
+        fig_id=f"{_fig_id_prefix}{panel}",
+        title=title + (" (message ordering not enforced)" if _overtaking else ""),
+        xlabel="thread pairs",
+        ylabel="message rate (msg/s)",
+    )
+    for instances, assignment in SERIES_SPECS:
+        fig.series.append(series_from_sweep(
+            series_label(instances, assignment),
+            pairs_axis,
+            lambda pairs, seed, i=instances, a=assignment: _multirate_point(
+                panel, i, a, pairs, seed, testbed, window, windows,
+                allow_overtaking=_overtaking, any_tag=_any_tag),
+            trials,
+        ))
+    fig.extra["testbed"] = testbed.name
+    fig.extra["window"] = window
+    fig.extra["windows"] = windows
+    fig.extra["trials"] = trials
+    return fig

@@ -1,0 +1,61 @@
+"""Figure 5: state of the art -- processes vs threads across MPI stacks.
+
+Eight lines on the Alembert preset (window 128, zero-byte): process and
+thread modes of OMPI/IMPI/MPICH profiles plus the paper's two modified
+configurations ("OMPI Thread + CRIs" and the most-optimistic
+"OMPI Thread + CRIs*").  The paper's reading, which the reproduction
+should preserve:
+
+* all stock thread modes are similarly poor and do not scale;
+* CRIs roughly double thread-mode performance;
+* CRIs* gains up to ~10x but still trails process mode.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.profiles import FIGURE5_PROFILES
+from repro.experiments.sweep import series_from_sweep
+from repro.experiments.testbeds import ALEMBERT, Testbed
+from repro.util.records import FigureResult
+from repro.workloads.multirate import MultirateConfig, run_multirate
+
+QUICK_PAIRS = (1, 2, 4, 8, 12, 16, 20)
+FULL_PAIRS = tuple(range(1, 21))
+
+
+def _profile_point(profile, pairs: int, seed: int, testbed: Testbed,
+                   window: int, windows: int) -> float:
+    cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+                          msg_bytes=0, entity_mode=profile.entity_mode,
+                          comm_per_pair=profile.comm_per_pair, seed=seed)
+    result = run_multirate(cfg, threading=profile.config,
+                           costs=profile.costs(testbed.costs),
+                           fabric=testbed.fabric)
+    return result.message_rate
+
+
+def run_figure5(quick: bool = True, testbed: Testbed = ALEMBERT,
+                trials: int | None = None) -> FigureResult:
+    """Regenerate Figure 5: one series per implementation profile."""
+    pairs_axis = QUICK_PAIRS if quick else FULL_PAIRS
+    window = 64 if quick else 128
+    windows = 2 if quick else 4
+    trials = trials if trials is not None else (2 if quick else 3)
+
+    fig = FigureResult(
+        fig_id="fig5",
+        title="Pairwise 0 bytes, state-of-the-art comparison",
+        xlabel="communication pairs",
+        ylabel="message rate (msg/s, log scale in the paper)",
+    )
+    for profile in FIGURE5_PROFILES:
+        fig.series.append(series_from_sweep(
+            profile.name,
+            pairs_axis,
+            lambda pairs, seed, p=profile: _profile_point(
+                p, pairs, seed, testbed, window, windows),
+            trials,
+        ))
+    fig.extra["testbed"] = testbed.name
+    fig.extra["window"] = window
+    return fig

@@ -1,0 +1,85 @@
+"""Figures 6: RMA-MT put+flush message rate on the Haswell/Aries preset.
+
+One sub-figure per message size.  Six lines each: progress engine
+{serial, concurrent} x instance mode {single, dedicated, round-robin},
+where "single" is one CRI shared by every thread (pre-CRI behaviour) and
+the other two use the ugni default of one CRI per core.  The black
+horizontal reference in the paper -- the theoretical peak message rate
+for the size -- is reported in ``extra["peak_rate"]`` per size.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ThreadingConfig
+from repro.experiments.sweep import series_from_sweep
+from repro.experiments.testbeds import TRINITITE_HASWELL, Testbed
+from repro.util.records import FigureResult
+from repro.workloads.rmamt import RmaMtConfig, run_rmamt
+
+MESSAGE_SIZES = (1, 128, 1024, 4096, 16384)
+
+#: (label, progress, instance mode) -- instance count resolved per testbed.
+SERIES_SPECS = (
+    ("single/serial", "serial", "single"),
+    ("single/concurrent", "concurrent", "single"),
+    ("dedicated/serial", "serial", "dedicated"),
+    ("dedicated/concurrent", "concurrent", "dedicated"),
+    ("round-robin/serial", "serial", "round_robin"),
+    ("round-robin/concurrent", "concurrent", "round_robin"),
+)
+
+
+def _threads_axis(max_threads: int) -> tuple[int, ...]:
+    axis = []
+    t = 1
+    while t <= max_threads:
+        axis.append(t)
+        t *= 2
+    return tuple(axis)
+
+
+def _rma_point(progress: str, inst_mode: str, threads: int, nbytes: int,
+               seed: int, testbed: Testbed, ops: int) -> float:
+    if inst_mode == "single":
+        threading = ThreadingConfig(num_instances=1, assignment="dedicated",
+                                    progress=progress)
+    else:
+        threading = ThreadingConfig(num_instances=testbed.default_instances,
+                                    assignment=inst_mode, progress=progress)
+    cfg = RmaMtConfig(threads=threads, ops_per_thread=ops, msg_bytes=nbytes,
+                      op="put", sync="flush", seed=seed)
+    result = run_rmamt(cfg, threading=threading, costs=testbed.costs,
+                       fabric=testbed.fabric)
+    return result.message_rate
+
+
+def run_figure6(quick: bool = True, testbed: Testbed = TRINITITE_HASWELL,
+                trials: int | None = None, sizes=MESSAGE_SIZES,
+                _fig_id: str = "fig6") -> list[FigureResult]:
+    """Regenerate Figure 6: one FigureResult per message size."""
+    max_threads = testbed.cores_per_node
+    threads_axis = _threads_axis(max_threads)
+    ops = 150 if quick else 1000
+    trials = trials if trials is not None else (1 if quick else 3)
+
+    figures = []
+    for nbytes in sizes:
+        fig = FigureResult(
+            fig_id=f"{_fig_id}-{nbytes}B",
+            title=f"RMA-MT MPI_Put + MPI_Win_flush, {nbytes} bytes ({testbed.name})",
+            xlabel="threads",
+            ylabel="message rate (msg/s)",
+        )
+        for label, progress, inst_mode in SERIES_SPECS:
+            fig.series.append(series_from_sweep(
+                label,
+                threads_axis,
+                lambda threads, seed, p=progress, m=inst_mode: _rma_point(
+                    p, m, threads, nbytes, seed, testbed, ops),
+                trials,
+            ))
+        fig.extra["peak_rate"] = testbed.fabric.peak_message_rate(nbytes)
+        fig.extra["testbed"] = testbed.name
+        fig.extra["ops_per_thread"] = ops
+        figures.append(fig)
+    return figures

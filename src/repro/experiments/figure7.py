@@ -1,0 +1,20 @@
+"""Figure 7: RMA-MT on the Knights Landing preset (1-64 threads).
+
+Identical protocol to Figure 6 but on ``TRINITITE_KNL``: many more,
+much slower cores, and the ugni default of 72 CRIs.  The paper's finding
+carries over: per-thread rates are lower than Haswell but dedicated
+instances still scale nearly perfectly with thread count.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure6 import MESSAGE_SIZES, run_figure6
+from repro.experiments.testbeds import TRINITITE_KNL, Testbed
+from repro.util.records import FigureResult
+
+
+def run_figure7(quick: bool = True, testbed: Testbed = TRINITITE_KNL,
+                trials: int | None = None, sizes=MESSAGE_SIZES) -> list[FigureResult]:
+    """Regenerate Figure 7: one FigureResult per message size."""
+    return run_figure6(quick=quick, testbed=testbed, trials=trials,
+                       sizes=sizes, _fig_id="fig7")

@@ -1,0 +1,80 @@
+"""Experiment registry: id -> runner, for the CLI-ish entry point.
+
+``run_experiment("fig3a")`` regenerates one exhibit; ``EXPERIMENTS``
+lists everything with a description (the per-experiment index lives in
+DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.extensions import (
+    run_entity_modes,
+    run_instance_sweep,
+    run_latency_tails,
+    run_message_size_sweep,
+)
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+@dataclass(frozen=True)
+class Experiment:
+    exp_id: str
+    description: str
+    runner: object  # callable(quick: bool) -> FigureResult | list[FigureResult]
+
+
+EXPERIMENTS = {
+    "table1": Experiment("table1", "Testbed configurations",
+                         lambda quick=True: run_table1()),
+    "fig3a": Experiment("fig3a", "0-byte rate, serial progress",
+                        lambda quick=True: run_figure3("a", quick=quick)),
+    "fig3b": Experiment("fig3b", "0-byte rate, concurrent progress",
+                        lambda quick=True: run_figure3("b", quick=quick)),
+    "fig3c": Experiment("fig3c", "0-byte rate, concurrent progress + matching",
+                        lambda quick=True: run_figure3("c", quick=quick)),
+    "table2": Experiment("table2", "SPC counters at 20 pairs",
+                         lambda quick=True: run_table2(quick=quick)),
+    "fig4a": Experiment("fig4a", "overtaking, serial progress",
+                        lambda quick=True: run_figure4("a", quick=quick)),
+    "fig4b": Experiment("fig4b", "overtaking, concurrent progress",
+                        lambda quick=True: run_figure4("b", quick=quick)),
+    "fig4c": Experiment("fig4c", "overtaking, concurrent progress + matching",
+                        lambda quick=True: run_figure4("c", quick=quick)),
+    "fig5": Experiment("fig5", "state-of-the-art process vs thread comparison",
+                       lambda quick=True: run_figure5(quick=quick)),
+    "fig6": Experiment("fig6", "RMA-MT put/flush on Haswell",
+                       lambda quick=True: run_figure6(quick=quick)),
+    "fig7": Experiment("fig7", "RMA-MT put/flush on KNL",
+                       lambda quick=True: run_figure7(quick=quick)),
+    # extension exhibits (beyond the paper's figures)
+    "ext-msgsize": Experiment("ext-msgsize",
+                              "two-sided rate vs message size (rendezvous crossover)",
+                              lambda quick=True: run_message_size_sweep(quick=quick)),
+    "ext-instances": Experiment("ext-instances",
+                                "rate vs CRI count at 20 thread pairs",
+                                lambda quick=True: run_instance_sweep(quick=quick)),
+    "ext-modes": Experiment("ext-modes",
+                            "Figure 2 binding modes head-to-head",
+                            lambda quick=True: run_entity_modes(quick=quick)),
+    "ext-latency": Experiment("ext-latency",
+                              "p99 delivery latency tails across designs",
+                              lambda quick=True: run_latency_tails(quick=quick)),
+}
+
+
+def run_experiment(exp_id: str, quick: bool = True):
+    """Run one registered experiment; returns its FigureResult(s)."""
+    try:
+        exp = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(f"unknown experiment {exp_id!r}; "
+                       f"known: {sorted(EXPERIMENTS)}") from None
+    return exp.runner(quick=quick)

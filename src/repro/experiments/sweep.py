@@ -1,0 +1,28 @@
+"""Trial-sweep helpers shared by the experiment runners."""
+
+from __future__ import annotations
+
+from repro.util.records import Series, SeriesPoint
+from repro.util.stats import summarize
+
+
+def rate_over_trials(run_once, trials: int, base_seed: int = 11) -> tuple[float, float]:
+    """Run ``run_once(seed)`` (returning a rate) over seeded trials.
+
+    Returns ``(mean, population std)``, matching the paper's reporting of
+    mean and standard deviation over repeated runs.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    rates = [run_once(base_seed + 97 * t) for t in range(trials)]
+    return summarize(rates)
+
+
+def series_from_sweep(label: str, xs, run_point, trials: int,
+                      base_seed: int = 11) -> Series:
+    """Build a Series by sweeping ``run_point(x, seed)`` over ``xs``."""
+    points = []
+    for x in xs:
+        mean, std = rate_over_trials(lambda seed: run_point(x, seed), trials, base_seed)
+        points.append(SeriesPoint(x, mean, std))
+    return Series(label, tuple(points))

@@ -1,0 +1,22 @@
+"""Table I: testbed configurations (rendered from the simulator presets)."""
+
+from __future__ import annotations
+
+from repro.experiments.testbeds import TESTBEDS
+from repro.util.records import FigureResult
+
+
+def run_table1() -> FigureResult:
+    """Render the testbed-configuration table."""
+    fig = FigureResult(
+        fig_id="table1",
+        title="Testbeds configuration (simulated presets)",
+        xlabel="-",
+        ylabel="-",
+    )
+    for name, tb in TESTBEDS.items():
+        for key, value in tb.as_row().items():
+            fig.extra[f"{name}.{key}"] = value
+        fig.extra[f"{name}.peak_rate_0B"] = f"{tb.fabric.peak_message_rate(0):.3g} msg/s"
+        fig.extra[f"{name}.peak_rate_16KiB"] = f"{tb.fabric.peak_message_rate(16384):.3g} msg/s"
+    return fig

@@ -1,0 +1,98 @@
+"""Simulated testbed presets mirroring the paper's Table I.
+
+The original study ran on two clusters; we mirror each as a (core count,
+fabric parameters, cost model) preset:
+
+=============  ==========================================  ================
+Testbed        Paper hardware                              Preset here
+=============  ==========================================  ================
+Alembert       2x10-core Xeon E5-2650v3, InfiniBand EDR    ``ALEMBERT``
+Trinitite      2x16-core Xeon E5-2698v3, Cray Aries        ``TRINITITE_HASWELL``
+Trinitite KNL  Knights Landing (64+ cores), Cray Aries     ``TRINITITE_KNL``
+=============  ==========================================  ================
+
+KNL cores run a little over 2x slower than Haswell cores for this kind of
+pointer-chasing runtime code, so its cost model is the Haswell one scaled.
+The ugni BTL's default of one CRI per available core (32 on Haswell, 72 on
+KNL) is carried in ``default_instances``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CostModel
+from repro.netsim.aries import ARIES
+from repro.netsim.fabric import FabricParams
+from repro.netsim.ib import IB_EDR
+
+
+@dataclass(frozen=True)
+class Testbed:
+    """One simulated cluster configuration (a Table I column)."""
+
+    name: str
+    processor: str
+    cores_per_node: int
+    main_memory: str
+    interconnect: str
+    os: str
+    compiler: str
+    fabric: FabricParams
+    costs: CostModel
+    #: CRIs the ugni BTL would create by default (one per available core)
+    default_instances: int
+
+    def as_row(self) -> dict:
+        return {
+            "Testbed": self.name,
+            "Processor": self.processor,
+            "Cores/node": self.cores_per_node,
+            "Main Memory": self.main_memory,
+            "Interconnect": self.interconnect,
+            "OS": self.os,
+            "Compiler": self.compiler,
+            "Default CRIs": self.default_instances,
+        }
+
+
+ALEMBERT = Testbed(
+    name="alembert",
+    processor="Dual 10-core Intel Xeon E5-2650 v3 @2.3 GHz (Haswell)",
+    cores_per_node=20,
+    main_memory="64GB DDR4",
+    interconnect="InfiniBand EDR (100 Gbps)",
+    os="Scientific Linux 7.3",
+    compiler="GCC 8.3.0",
+    fabric=IB_EDR,
+    costs=CostModel(),
+    default_instances=20,
+)
+
+TRINITITE_HASWELL = Testbed(
+    name="trinitite-haswell",
+    processor="Dual 16-core Intel Xeon E5-2698 v3 @2.3 GHz (Haswell)",
+    cores_per_node=32,
+    main_memory="128GB DDR4",
+    interconnect="Cray Aries (100 Gbps)",
+    os="Cray Suse Linux",
+    compiler="GCC 8.3.0",
+    fabric=ARIES,
+    costs=CostModel(),
+    default_instances=32,
+)
+
+TRINITITE_KNL = Testbed(
+    name="trinitite-knl",
+    processor="Intel Xeon Phi (Knights Landing), 64 cores used",
+    cores_per_node=64,
+    main_memory="96GB DDR4 + 16GB MCDRAM",
+    interconnect="Cray Aries (100 Gbps)",
+    os="Cray Suse Linux",
+    compiler="GCC 8.3.0",
+    fabric=ARIES,
+    costs=CostModel().scaled(2.2),
+    default_instances=72,
+)
+
+TESTBEDS = {t.name: t for t in (ALEMBERT, TRINITITE_HASWELL, TRINITITE_KNL)}

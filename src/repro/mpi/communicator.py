@@ -1,0 +1,92 @@
+"""Communicators: the matching scope of two-sided MPI.
+
+A communicator is a *global descriptor* (id, member ranks, info); each
+member process lazily builds its own per-communicator state (matching
+engine, send sequence counters) the first time the communicator is used
+there.  That per-communicator state is exactly why the paper can simulate
+concurrent matching with OB1: one communicator per thread pair means one
+matching lock per thread pair.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.errors import CommunicatorError, RankError
+from repro.mpi.info import Info
+
+
+class Communicator:
+    """Global communicator descriptor."""
+
+    __slots__ = ("world", "id", "ranks", "info", "name", "_rank_set")
+
+    def __init__(self, world, comm_id: int, ranks: tuple[int, ...],
+                 info: Info | None = None, name: str = ""):
+        if len(ranks) != len(set(ranks)):
+            raise CommunicatorError(f"duplicate ranks in communicator: {ranks}")
+        if not ranks:
+            raise CommunicatorError("communicator must have at least one member")
+        self.world = world
+        self.id = comm_id
+        self.ranks = tuple(ranks)
+        self._rank_set = frozenset(ranks)
+        self.info = info or Info()
+        self.name = name or f"comm-{comm_id}"
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def allow_overtaking(self) -> bool:
+        return self.info.allow_overtaking
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._rank_set
+
+    def check_member(self, world_rank: int, what: str = "rank") -> None:
+        if world_rank != ANY_SOURCE and world_rank not in self._rank_set:
+            raise RankError(f"{what} {world_rank} is not a member of {self.name} "
+                            f"(members: {self.ranks})")
+
+    def local_rank(self, world_rank: int) -> int:
+        """Communicator-relative rank of a world rank."""
+        try:
+            return self.ranks.index(world_rank)
+        except ValueError:
+            raise RankError(f"rank {world_rank} not in {self.name}") from None
+
+    def world_rank(self, local: int) -> int:
+        if not 0 <= local < len(self.ranks):
+            raise RankError(f"local rank {local} out of range for {self.name}")
+        return self.ranks[local]
+
+    # ------------------------------------------------------------------
+    def dup(self, info: Info | None = None) -> "Communicator":
+        """MPI_Comm_dup: same group, new matching scope (new id)."""
+        return self.world.create_comm(self.ranks, info=info or self.info.copy(),
+                                      name=f"{self.name}.dup")
+
+    def split(self, colors: dict[int, int]) -> dict[int, "Communicator"]:
+        """MPI_Comm_split: partition members by color.
+
+        ``colors`` maps every member world rank to a color; returns one
+        new communicator per color (members ordered by world rank, which
+        stands in for the key argument).
+        """
+        missing = self._rank_set - set(colors)
+        if missing:
+            raise CommunicatorError(f"split colors missing for ranks {sorted(missing)}")
+        groups: dict[int, list[int]] = {}
+        for rank in self.ranks:
+            groups.setdefault(colors[rank], []).append(rank)
+        return {
+            color: self.world.create_comm(tuple(sorted(members)),
+                                          info=self.info.copy(),
+                                          name=f"{self.name}.split{color}")
+            for color, members in groups.items()
+        }
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"<Communicator {self.name} id={self.id} size={self.size}>"

@@ -1,0 +1,34 @@
+"""Minimal datatype support: size descriptors for payload accounting.
+
+Payloads in the simulator are Python objects (or byte strings); datatypes
+exist so callers can express counts the way MPI programs do and so the
+wire-byte accounting matches ``count * extent``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A named elementary datatype with a fixed extent in bytes."""
+
+    name: str
+    size: int
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError("datatype size must be positive")
+
+    def extent(self, count: int) -> int:
+        """Total bytes for ``count`` elements."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return self.size * count
+
+
+BYTE = Datatype("byte", 1)
+INT = Datatype("int", 4)
+FLOAT = Datatype("float", 4)
+DOUBLE = Datatype("double", 8)

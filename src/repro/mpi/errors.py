@@ -1,0 +1,27 @@
+"""MPI-level error types."""
+
+
+class MpiError(Exception):
+    """Base class for MPI usage/semantic errors."""
+
+
+class RankError(MpiError):
+    """A rank argument is not a member of the communicator."""
+
+
+class TagError(MpiError):
+    """A tag argument is outside the valid range for the call."""
+
+
+class CommunicatorError(MpiError):
+    """Invalid communicator construction or use."""
+
+
+class TruncationError(MpiError):
+    """A received message was longer than the posted receive buffer
+    (MPI_ERR_TRUNCATE)."""
+
+
+class EpochError(MpiError):
+    """A one-sided operation was issued outside an access epoch, or epoch
+    calls were mismatched (MPI_ERR_RMA_SYNC)."""

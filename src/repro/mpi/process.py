@@ -1,0 +1,140 @@
+"""One MPI process: rank, CRI pool, progress engine, matching state.
+
+The process is where the layers meet: it owns the CRI pool (from
+:mod:`repro.core`), the progress engine configured by the run's
+:class:`~repro.core.config.ThreadingConfig`, the per-communicator matching
+engines, and the SPC counters.  It also models the per-process shared
+host bottleneck (``host_reserve``): memory allocator, cache coherence and
+on-node bandwidth impose a minimum gap between consecutive fully-processed
+messages of one process, which is what separates a 20-thread process from
+20 single-threaded processes even when all software locks are gone.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CostModel, ThreadingConfig
+from repro.core.pool import CRIPool
+from repro.core.progress import make_progress_engine
+from repro.mpi.matching import CommState
+from repro.mpi.rendezvous import RendezvousManager
+from repro.mpi.request import Status
+from repro.mpi.spc import SPC
+from repro.netsim.cq import RecvArrival, RmaCompletion, SendCompletion
+from repro.netsim.message import CTS, DATA
+from repro.simthread.scheduler import Delay
+from repro.util.latency import LatencyHistogram
+
+
+class MpiProcess:
+    """Per-rank state of the simulated MPI library."""
+
+    def __init__(self, world, rank: int, nic, config: ThreadingConfig,
+                 costs: CostModel, lock_fairness: str = "unfair"):
+        self.world = world
+        self.rank = rank
+        self.nic = nic
+        self.config = config
+        self.costs = costs
+        self.spc = SPC()
+        self.pool = CRIPool(world.sched, nic, config, costs, lock_fairness)
+        self.rndv = RendezvousManager(self)
+        #: end-to-end latency of messages delivered at this process
+        self.latency = LatencyHistogram()
+        self.progress_engine = make_progress_engine(
+            world.sched, self.pool, config, costs, self._dispatch,
+            post_round=self.rndv.flush)
+        self._comm_states: dict[int, CommState] = {}
+        self._host_free_at = 0
+
+    @property
+    def sched(self):
+        return self.world.sched
+
+    # ------------------------------------------------------------------
+    def comm_state(self, comm) -> CommState:
+        state = self._comm_states.get(comm.id)
+        if state is None:
+            comm.check_member(self.rank, "local rank")
+            state = CommState(self.sched, self, comm)
+            self._comm_states[comm.id] = state
+        return state
+
+    def comm_state_by_id(self, comm_id: int) -> CommState:
+        state = self._comm_states.get(comm_id)
+        if state is None:
+            state = self.comm_state(self.world.comm_by_id(comm_id))
+        return state
+
+    # ------------------------------------------------------------------
+    def host_reserve(self) -> int:
+        """Reserve one slot of the process's host pipeline.
+
+        Returns the extra wait (ns) the caller must add to its delay so
+        that fully-processed messages of this process are spaced at least
+        ``host_gap_ns`` apart.
+        """
+        now = self.sched.now
+        start = self._host_free_at if self._host_free_at > now else now
+        self._host_free_at = start + self.costs.host_gap_ns
+        return start - now
+
+    # ------------------------------------------------------------------
+    def endpoint_for(self, cri, dst_rank: int):
+        """Connection from this CRI to the destination's paired context.
+
+        The destination context is the peer's instance with the same index
+        modulo the peer's pool size, so symmetric dedicated assignments
+        produce fully private channels per thread pair.
+        """
+        dst_proc = self.world.processes[dst_rank]
+        dst_pool = dst_proc.pool
+        dst_ctx = dst_pool.instances[cri.index % len(dst_pool)].context
+        return cri.endpoint_to(dst_ctx)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, event):
+        """Generator: handle one completion event; returns completions."""
+        if type(event) is RecvArrival:
+            env = event.envelope
+            if env.kind == CTS:
+                # Rendezvous clear-to-send: release the bulk data.
+                self.rndv.queue_data(env)
+                yield Delay(self.costs.rndv_handshake_ns)
+                return 1
+            if env.kind == DATA:
+                yield from self._deliver_rndv_data(env)
+                return 1
+            state = self.comm_state_by_id(env.comm_id)
+            count = yield from state.matching.handle_arrival(env)
+            return count
+        if type(event) is SendCompletion:
+            event.request._complete(self.sched.now)
+            yield Delay(self.costs.request_complete_ns)
+            return 1
+        if type(event) is RmaCompletion:
+            op = event.op
+            op.mark_completed(self.sched.now)
+            notify = getattr(op, "on_completed", None)
+            if notify is not None:
+                notify()
+            yield Delay(self.costs.request_complete_ns)
+            return 1
+        raise TypeError(f"unknown completion event {event!r}")
+
+    def _deliver_rndv_data(self, env):
+        """Generator: a pre-matched DATA fragment completes its receive."""
+        req = env.recv_request
+        work = (self.costs.request_complete_ns
+                + int(env.nbytes * self.costs.copy_per_byte_ns)
+                + self.host_reserve())
+        if not req.completed:  # a truncating RTS already failed it
+            req.data = env.payload
+            req.status = Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
+            req._complete(self.sched.now)
+        if env.sent_at is not None:
+            self.latency.record(self.sched.now - env.sent_at)
+        self.spc.messages_received += 1
+        yield Delay(work)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"<MpiProcess rank={self.rank} nic={self.nic.nic_id} cris={len(self.pool)}>"

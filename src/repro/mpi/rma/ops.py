@@ -1,0 +1,176 @@
+"""One-sided operations and synchronization.
+
+The initiating thread's path mirrors the two-sided send path minus
+matching: acquire a CRI (round-robin or dedicated), post the RDMA
+descriptor, done -- the target CPU is never involved.  ``flush`` spins in
+the progress engine until the initiator's outstanding operations to the
+target have been acked by the remote NIC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.rma.window import WindowOp
+from repro.simthread.scheduler import Delay
+
+# Accumulate operators over typed views.
+SUM_OP = "sum"
+REPLACE_OP = "replace"
+MAX_OP = "max"
+MIN_OP = "min"
+
+
+def _post(env, win, op: WindowOp, post_cost_ns: int):
+    """Generator: shared CRI-acquire/post/release path for all RMA ops."""
+    process = env.process
+    cri = yield from process.pool.get_instance(switch_ns=env.costs.rma_instance_switch_ns)
+    yield from cri.lock.acquire()
+    # No host_reserve here: one-sided ops are NIC offload -- no matching,
+    # no unexpected-buffer allocation -- so the per-process host message
+    # pipeline does not bound them (that is RMA's whole advantage).
+    yield Delay(post_cost_ns)
+    endpoint = process.endpoint_for(cri, op.target)
+    win.track(op)
+    yield from cri.context.post_rma(endpoint, op)
+    yield from cri.lock.release()
+    process.spc.rma_ops += 1
+    return op
+
+
+def put(env, win, target: int, nbytes: int, target_offset: int = 0, data=None):
+    """Generator: remote write; returns the operation handle."""
+    win.comm.check_member(target, "target")
+    win.require_epoch(env.rank, target)
+    win.check_range(target, target_offset, nbytes)
+    if data is not None:
+        data = np.frombuffer(bytes(data), dtype=np.uint8)
+        if len(data) != nbytes:
+            raise ValueError(f"data is {len(data)} bytes but nbytes={nbytes}")
+    target_buf = win.buffer(target)
+
+    def remote_write(op):
+        op.remote_applied_at = env.sched.now
+        if data is not None:
+            target_buf[target_offset:target_offset + nbytes] = data
+
+    op = WindowOp("put", nbytes, win, env.rank, target, target_offset, remote_write)
+    op = yield from _post(env, win, op, env.costs.rma_put_post_ns)
+    return op
+
+
+def get(env, win, target: int, nbytes: int, target_offset: int = 0):
+    """Generator: remote read; ``op.result`` holds the bytes after the op
+    completes (flush or wait-on-completed)."""
+    win.comm.check_member(target, "target")
+    win.require_epoch(env.rank, target)
+    win.check_range(target, target_offset, nbytes)
+    target_buf = win.buffer(target)
+
+    def remote_read(op):
+        op.remote_applied_at = env.sched.now
+        return bytes(target_buf[target_offset:target_offset + nbytes])
+
+    op = WindowOp("get", nbytes, win, env.rank, target, target_offset, remote_read)
+    op = yield from _post(env, win, op, env.costs.rma_get_post_ns)
+    return op
+
+
+def accumulate(env, win, target: int, values, target_offset: int = 0, op=SUM_OP):
+    """Generator: remote atomic update on a typed view of the window.
+
+    ``values`` must be a NumPy array; the target bytes at the offset are
+    reinterpreted with the same dtype and combined elementwise.  The
+    whole update applies atomically (MPI guarantees per-element only;
+    we give the stronger guarantee the hardware event model makes free).
+    """
+    win.comm.check_member(target, "target")
+    win.require_epoch(env.rank, target)
+    values = np.asarray(values)
+    nbytes = values.nbytes
+    win.check_range(target, target_offset, nbytes)
+    if op not in (SUM_OP, REPLACE_OP, MAX_OP, MIN_OP):
+        raise ValueError(f"unknown accumulate op {op!r}")
+    target_buf = win.buffer(target)
+
+    def remote_accumulate(handle):
+        handle.remote_applied_at = env.sched.now
+        view = target_buf[target_offset:target_offset + nbytes].view(values.dtype)
+        flat = values.reshape(-1)
+        if op == SUM_OP:
+            view += flat
+        elif op == REPLACE_OP:
+            view[:] = flat
+        elif op == MAX_OP:
+            np.maximum(view, flat, out=view)
+        else:
+            np.minimum(view, flat, out=view)
+
+    handle = WindowOp("accumulate", nbytes, win, env.rank, target,
+                      target_offset, remote_accumulate)
+    handle = yield from _post(env, win, handle, env.costs.rma_acc_post_ns)
+    return handle
+
+
+# ----------------------------------------------------------------------
+# synchronization
+# ----------------------------------------------------------------------
+def flush(env, win, target: int | None = None):
+    """Generator: complete this process's outstanding ops (to ``target``,
+    or all targets when ``None``).
+
+    Completion of one-sided operations is a hardware counter, so the loop
+    just polls it (with a progress call folded in so concurrently pending
+    two-sided traffic still advances, as a real MPI_Win_flush would)."""
+    costs = env.costs
+    env.process.spc.rma_flushes += 1
+    yield Delay(costs.rma_flush_ns)
+    while win.outstanding(env.rank, target):
+        n = yield from env.progress()
+        if win.outstanding(env.rank, target):
+            yield Delay(costs.rma_flush_backoff_ns if n == 0 else costs.wait_poll_ns)
+
+
+def win_lock(env, win, target: int, exclusive: bool = False):
+    """Generator: open a passive-target access epoch to ``target``."""
+    win.comm.check_member(target, "target")
+    win.open_epoch(env.rank, target)
+    yield Delay(env.costs.lock_acquire_ns)
+
+
+def win_unlock(env, win, target: int):
+    """Generator: flush ops to ``target``, then close the epoch."""
+    yield from flush(env, win, target)
+    win.close_epoch(env.rank, target)
+    yield Delay(env.costs.lock_release_ns)
+
+
+def win_lock_all(env, win):
+    """Generator: open a shared epoch to every target at once."""
+    win.open_epoch(env.rank, "all")
+    yield Delay(env.costs.lock_acquire_ns)
+
+
+def win_unlock_all(env, win):
+    """Generator: flush everything, close the shared epoch."""
+    yield from flush(env, win, None)
+    win.close_epoch(env.rank, "all")
+    yield Delay(env.costs.lock_release_ns)
+
+
+def fence(env, win):
+    """Generator: active-target fence: complete local ops, toggle the
+    fence epoch, and synchronize the window's group with a barrier."""
+    yield from flush(env, win, None)
+    if win.has_epoch(env.rank, "fence"):
+        win.close_epoch(env.rank, "fence")
+    else:
+        win.open_epoch(env.rank, "fence")
+    from repro.mpi import collectives
+
+    yield from collectives.barrier(env, win.comm)
+
+
+def win_sync(env, win):
+    """Generator: memory barrier on the window (MPI_Win_sync)."""
+    yield Delay(env.costs.atomic_rmw_ns)

@@ -1,0 +1,113 @@
+"""RMA windows: exposed memory plus epoch and completion bookkeeping.
+
+Each member of the communicator exposes ``size_bytes`` of memory (a NumPy
+byte buffer, so accumulates can reinterpret typed views in place).  The
+window tracks, per *initiator* process, the set of outstanding operations
+-- that is what ``MPI_Win_flush`` completes -- and per initiator the open
+access epochs (passive lock / lock_all, or an active fence epoch).
+
+Passive-target exclusive locks are bookkept (epoch required before any
+op, mismatched unlocks are errors) but origin-vs-origin exclusion is not
+arbitrated across processes: the paper's workloads never contend locks,
+they use flush-only synchronization.  See DESIGN.md substitutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.errors import EpochError, RankError
+from repro.netsim.rdma import RmaOp
+
+
+class WindowOp(RmaOp):
+    """An RMA operation bound to a window and target."""
+
+    __slots__ = ("window", "origin", "target", "target_offset")
+
+    def __init__(self, kind: str, nbytes: int, window: "Window", origin: int,
+                 target: int, target_offset: int, remote_fn=None):
+        super().__init__(kind, nbytes, remote_fn=remote_fn)
+        self.window = window
+        self.origin = origin
+        self.target = target
+        self.target_offset = target_offset
+        self.on_completed = self._retire
+
+    def _retire(self) -> None:
+        self.window._pending[self.origin].discard(self)
+
+
+class Window:
+    """One RMA window across the members of a communicator."""
+
+    _next_id = 0
+
+    def __init__(self, world, comm, size_bytes: int):
+        if size_bytes < 0:
+            raise ValueError("window size must be >= 0")
+        self.world = world
+        self.comm = comm
+        self.size_bytes = size_bytes
+        self.id = Window._next_id
+        Window._next_id += 1
+        self.buffers: dict[int, np.ndarray] = {
+            rank: np.zeros(size_bytes, dtype=np.uint8) for rank in comm.ranks
+        }
+        self._pending: dict[int, set] = {rank: set() for rank in comm.ranks}
+        # per-initiator epoch state: set of target ranks (or "all"/"fence")
+        self._epochs: dict[int, set] = {rank: set() for rank in comm.ranks}
+
+    # ------------------------------------------------------------------
+    def buffer(self, rank: int) -> np.ndarray:
+        try:
+            return self.buffers[rank]
+        except KeyError:
+            raise RankError(f"rank {rank} is not in window {self.id}'s group") from None
+
+    def check_range(self, rank: int, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.size_bytes:
+            raise ValueError(
+                f"RMA access [{offset}, {offset + nbytes}) outside window of "
+                f"{self.size_bytes} bytes at rank {rank}")
+
+    # ------------------------------------------------------------------
+    # epochs
+    # ------------------------------------------------------------------
+    def open_epoch(self, origin: int, target) -> None:
+        epochs = self._epochs[origin]
+        if target in epochs:
+            raise EpochError(f"rank {origin} already holds an epoch for {target!r}")
+        epochs.add(target)
+
+    def close_epoch(self, origin: int, target) -> None:
+        epochs = self._epochs[origin]
+        if target not in epochs:
+            raise EpochError(f"rank {origin} has no open epoch for {target!r}")
+        epochs.discard(target)
+
+    def require_epoch(self, origin: int, target: int) -> None:
+        epochs = self._epochs[origin]
+        if target in epochs or "all" in epochs or "fence" in epochs:
+            return
+        raise EpochError(
+            f"rank {origin} issued an RMA op to {target} without an access "
+            f"epoch (win_lock / win_lock_all / fence required)")
+
+    def has_epoch(self, origin: int, target) -> bool:
+        return target in self._epochs[origin]
+
+    # ------------------------------------------------------------------
+    # completion tracking
+    # ------------------------------------------------------------------
+    def track(self, op: WindowOp) -> None:
+        self._pending[op.origin].add(op)
+
+    def outstanding(self, origin: int, target: int | None = None) -> int:
+        ops = self._pending[origin]
+        if target is None:
+            return len(ops)
+        return sum(1 for op in ops if op.target == target)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"<Window id={self.id} size={self.size_bytes}B comm={self.comm.name}>"

@@ -1,0 +1,102 @@
+"""Software-based Performance Counters.
+
+Mirrors the Open MPI SPC infrastructure the paper reads (Eberius et al.,
+EuroMPI'17): low-overhead counters exposing MPI-internal information.
+The study focuses on two of them -- the number of out-of-sequence messages
+and the total matching time -- which we reproduce for Table II, plus the
+supporting counters around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SPC:
+    """Per-process software performance counters."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    unexpected_messages: int = 0
+    out_of_sequence: int = 0
+    #: total virtual time spent in the matching engine (validation, queue
+    #: search, delivery, out-of-sequence buffering, structure migration).
+    match_time_ns: int = 0
+    #: total posted-queue elements a linear scan would have traversed.
+    match_queue_scanned: int = 0
+    recv_posted: int = 0
+    oos_buffered_high_watermark: int = 0
+    unexpected_high_watermark: int = 0
+    rma_ops: int = 0
+    rma_flushes: int = 0
+    match_migrations: int = 0
+    #: sends routed through the rendezvous (RTS/CTS/DATA) protocol
+    rendezvous_sends: int = 0
+
+    def note_oos_depth(self, depth: int) -> None:
+        if depth > self.oos_buffered_high_watermark:
+            self.oos_buffered_high_watermark = depth
+
+    def note_unexpected_depth(self, depth: int) -> None:
+        if depth > self.unexpected_high_watermark:
+            self.unexpected_high_watermark = depth
+
+    @property
+    def out_of_sequence_fraction(self) -> float:
+        """Fraction of received messages that arrived out of sequence."""
+        if self.messages_received == 0:
+            return 0.0
+        return self.out_of_sequence / self.messages_received
+
+    @property
+    def match_time_ms(self) -> float:
+        return self.match_time_ns / 1e6
+
+    def as_dict(self) -> dict:
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "unexpected_messages": self.unexpected_messages,
+            "out_of_sequence": self.out_of_sequence,
+            "out_of_sequence_fraction": self.out_of_sequence_fraction,
+            "match_time_ms": self.match_time_ms,
+            "match_queue_scanned": self.match_queue_scanned,
+            "recv_posted": self.recv_posted,
+            "oos_buffered_high_watermark": self.oos_buffered_high_watermark,
+            "unexpected_high_watermark": self.unexpected_high_watermark,
+            "rma_ops": self.rma_ops,
+            "rma_flushes": self.rma_flushes,
+            "match_migrations": self.match_migrations,
+            "rendezvous_sends": self.rendezvous_sends,
+        }
+
+
+@dataclass
+class SPCAggregate:
+    """Sum of SPCs across processes (what the experiment tables report)."""
+
+    counters: list = field(default_factory=list)
+
+    def add(self, spc: SPC) -> None:
+        self.counters.append(spc)
+
+    def total(self) -> SPC:
+        out = SPC()
+        for c in self.counters:
+            out.messages_sent += c.messages_sent
+            out.messages_received += c.messages_received
+            out.unexpected_messages += c.unexpected_messages
+            out.out_of_sequence += c.out_of_sequence
+            out.match_time_ns += c.match_time_ns
+            out.match_queue_scanned += c.match_queue_scanned
+            out.recv_posted += c.recv_posted
+            out.rma_ops += c.rma_ops
+            out.rma_flushes += c.rma_flushes
+            out.match_migrations += c.match_migrations
+            out.rendezvous_sends += c.rendezvous_sends
+            out.oos_buffered_high_watermark = max(
+                out.oos_buffered_high_watermark, c.oos_buffered_high_watermark)
+            out.unexpected_high_watermark = max(
+                out.unexpected_high_watermark, c.unexpected_high_watermark)
+        return out

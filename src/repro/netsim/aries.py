@@ -1,0 +1,23 @@
+"""Cray-Aries-like fabric preset (the Trinitite testbed's interconnect).
+
+Aries is also ~100 Gb/s but, critically for the paper's design discussion
+(section III-B), it has a *hardware limit on the number of network
+contexts* a process may create, so the CRI pool must handle the
+fewer-instances-than-threads case.  The ugni BTL creates one context per
+available core by default (32 on Haswell, 72 on KNL), well under the cap
+for those nodes, but the cap exists and the pool honors it.
+"""
+
+from repro.netsim.fabric import FabricParams
+
+ARIES = FabricParams(
+    name="aries",
+    inject_overhead_ns=80,
+    per_byte_ns=0.08,
+    doorbell_ns=70,
+    wire_latency_ns=1100,
+    wire_jitter_ns=450,
+    pipeline_gap_ns=30,
+    rdma_ack_latency_ns=800,
+    max_contexts=120,
+)

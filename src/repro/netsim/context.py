@@ -1,0 +1,108 @@
+"""Network context: one injection queue plus one completion queue.
+
+This is the hardware resource a Communication Resource Instance wraps.
+Posting is asynchronous, as on real NICs: the calling thread pays only the
+doorbell cost; injection, wire transfer, delivery and completion are
+scheduled as future events.  Concurrent access to one context is *not*
+safe in real hardware/driver stacks, which is exactly why the MPI layer
+must lock it -- the simulator mirrors that by leaving all protection to
+the caller.
+"""
+
+from __future__ import annotations
+
+from repro.simthread.scheduler import Delay
+from repro.netsim.cq import CompletionQueue, RecvArrival, RmaCompletion, SendCompletion
+
+
+class NetworkContext:
+    """One injection queue + CQ pair on a NIC."""
+
+    def __init__(self, nic, index: int):
+        self.nic = nic
+        self.index = index
+        self.cq = CompletionQueue(self)
+        self.inject_free_at: int = 0
+        self._endpoints: dict = {}
+        self.sends_posted = 0
+        self.rma_posted = 0
+
+    @property
+    def fabric(self):
+        return self.nic.fabric
+
+    @property
+    def sched(self):
+        return self.nic.fabric.sched
+
+    # ------------------------------------------------------------------
+    def endpoint_to(self, dst_ctx: "NetworkContext"):
+        """Get or create the connection from this context to ``dst_ctx``."""
+        from repro.netsim.endpoint import Endpoint
+
+        ep = self._endpoints.get(id(dst_ctx))
+        if ep is None:
+            ep = Endpoint(self, dst_ctx)
+            self._endpoints[id(dst_ctx)] = ep
+        return ep
+
+    # ------------------------------------------------------------------
+    def post_send(self, endpoint, envelope):
+        """Generator: post a two-sided eager send on this context.
+
+        The caller must hold whatever lock protects this context.  Charges
+        only the doorbell; schedules local completion (at injection done)
+        and remote delivery (FIFO per connection, jittered across
+        connections).
+        """
+        sched = self.sched
+        envelope.sent_at = sched.now
+        self.sends_posted += 1
+        start, done = self.nic.injection_window(self, envelope.wire_bytes)
+        if envelope.send_request is not None:
+            sched.call_at(done, self.cq.push, SendCompletion(envelope.send_request))
+        deliver_at = endpoint.fifo_delivery_time(done + self.fabric.wire_delay())
+        sched.call_at(deliver_at, endpoint.dst_ctx.deliver, envelope)
+        yield Delay(self.fabric.params.doorbell_ns)
+
+    def deliver(self, envelope) -> None:
+        """Delivery callback: the wire handed us a message."""
+        envelope.arrived_at = self.sched.now
+        self.cq.push(RecvArrival(envelope))
+
+    # ------------------------------------------------------------------
+    def post_rma(self, endpoint, op):
+        """Generator: post a one-sided operation (put/get/atomic).
+
+        No target CPU involvement: the remote side-effect happens in a
+        delivery callback, and the hardware ack lands in *this* context's
+        CQ.  The caller must hold the context's protection.
+        """
+        sched = self.sched
+        params = self.fabric.params
+        self.rma_posted += 1
+        op.issued_at = sched.now
+        start, done = self.nic.injection_window(self, op.wire_bytes)
+        remote_at = done + self.fabric.wire_delay()
+        sched.call_at(remote_at, op.apply_remote)
+        if op.is_get:
+            # data travels back: ack latency plus payload serialization
+            ack_at = remote_at + params.rdma_ack_latency_ns + int(op.nbytes * params.per_byte_ns)
+        else:
+            ack_at = remote_at + params.rdma_ack_latency_ns
+        # RMA acks complete through a hardware counter (uGNI/Verbs style),
+        # not through software CQ processing: no progress-engine thread is
+        # needed to retire them -- the reason the paper finds "little
+        # benefit from concurrent progress" on the one-sided path.
+        sched.call_at(ack_at, self._complete_rma, op)
+        yield Delay(params.doorbell_ns)
+
+    def _complete_rma(self, op) -> None:
+        """Hardware-counter completion callback for a one-sided op."""
+        op.mark_completed(self.sched.now)
+        notify = getattr(op, "on_completed", None)
+        if notify is not None:
+            notify()
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"<NetworkContext nic={self.nic.nic_id} #{self.index} cq={len(self.cq)}>"

@@ -1,0 +1,72 @@
+"""Completion queues and the event records they carry.
+
+A completion queue (CQ) is attached to one network context.  The hardware
+(the simulation's delivery callbacks) pushes events; the MPI progress
+engine drains them under the owning CRI's lock.  The CQ itself is dumb:
+costs for polling and handling are charged by the progress engine from the
+cost model, because that is where the paper's designs differ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class SendCompletion:
+    """Local completion of a two-sided send (eager buffer released)."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, request):
+        self.request = request
+
+
+class RecvArrival:
+    """A message arrived on this context and awaits matching."""
+
+    __slots__ = ("envelope",)
+
+    def __init__(self, envelope):
+        self.envelope = envelope
+
+
+class RmaCompletion:
+    """An RDMA operation was acked by the target NIC."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op):
+        self.op = op
+
+
+class CompletionQueue:
+    """FIFO of completion events for one network context."""
+
+    __slots__ = ("ctx", "_events", "events_pushed", "events_polled", "high_watermark")
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self._events: deque = deque()
+        self.events_pushed = 0
+        self.events_polled = 0
+        self.high_watermark = 0
+
+    def push(self, event) -> None:
+        self._events.append(event)
+        self.events_pushed += 1
+        if len(self._events) > self.high_watermark:
+            self.high_watermark = len(self._events)
+
+    def poll(self, max_events: int | None = None) -> list:
+        """Drain up to ``max_events`` events (all if ``None``)."""
+        n = len(self._events) if max_events is None else min(max_events, len(self._events))
+        out = [self._events.popleft() for _ in range(n)]
+        self.events_polled += n
+        return out
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def empty(self) -> bool:
+        return not self._events

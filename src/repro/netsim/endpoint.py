@@ -1,0 +1,36 @@
+"""Connections between network contexts.
+
+Real fabrics provide in-order delivery per connection (if at all) but no
+ordering *across* connections -- the paper's section II-C: "networks do not
+provide any ordering guarantee by default".  We model the common reliable-
+connection case: per-endpoint FIFO, unordered across endpoints via wire
+jitter.  An ablation can disable even per-endpoint FIFO.
+"""
+
+from __future__ import annotations
+
+
+class Endpoint:
+    """A unidirectional src-context -> dst-context connection."""
+
+    __slots__ = ("src_ctx", "dst_ctx", "last_delivery_at", "fifo", "messages")
+
+    def __init__(self, src_ctx, dst_ctx, fifo: bool = True):
+        self.src_ctx = src_ctx
+        self.dst_ctx = dst_ctx
+        self.last_delivery_at: int = 0
+        self.fifo = fifo
+        self.messages = 0
+
+    def fifo_delivery_time(self, computed_at: int) -> int:
+        """Clamp a computed delivery time to preserve connection order."""
+        self.messages += 1
+        if self.fifo:
+            at = max(computed_at, self.last_delivery_at + 1)
+            self.last_delivery_at = at
+            return at
+        return computed_at
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (f"<Endpoint nic{self.src_ctx.nic.nic_id}/ctx{self.src_ctx.index} -> "
+                f"nic{self.dst_ctx.nic.nic_id}/ctx{self.dst_ctx.index}>")

@@ -1,0 +1,81 @@
+"""Fabric parameters and the fabric object that creates NICs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FabricParams:
+    """Timing/capacity model of one interconnect technology.
+
+    All times are virtual nanoseconds.
+
+    Attributes
+    ----------
+    inject_overhead_ns:
+        Per-message fixed occupancy of one network context's injection
+        queue (descriptor fetch + DMA setup).
+    per_byte_ns:
+        Serialization cost per payload byte (the link bandwidth);
+        0.08 ns/B is roughly 100 Gb/s.
+    doorbell_ns:
+        CPU-side cost of ringing the context doorbell when posting.
+    wire_latency_ns / wire_jitter_ns:
+        One-way latency and the uniform jitter added per message.  Jitter
+        reorders messages *across* connections; each connection itself
+        stays FIFO.
+    pipeline_gap_ns:
+        Minimum spacing between any two messages through one NIC's shared
+        pipeline (the NIC-wide peak message rate is 1e9/pipeline_gap_ns).
+    rdma_ack_latency_ns:
+        Extra one-way latency for the hardware ack completing an RDMA op.
+    max_contexts:
+        Hardware limit on contexts per NIC (Cray Aries has one); ``None``
+        means unlimited.
+    """
+
+    name: str = "generic"
+    inject_overhead_ns: int = 90
+    per_byte_ns: float = 0.08
+    doorbell_ns: int = 60
+    wire_latency_ns: int = 900
+    wire_jitter_ns: int = 400
+    pipeline_gap_ns: int = 30
+    rdma_ack_latency_ns: int = 700
+    max_contexts: int | None = None
+
+    def with_overrides(self, **kwargs) -> "FabricParams":
+        return replace(self, **kwargs)
+
+    def peak_message_rate(self, nbytes: int) -> float:
+        """Theoretical peak messages/second for one NIC at this size.
+
+        This is the black horizontal line in the paper's Figures 6 and 7:
+        min(pipeline limit, bandwidth limit).
+        """
+        per_msg = max(self.pipeline_gap_ns, nbytes * self.per_byte_ns)
+        return 1e9 / per_msg
+
+
+class Fabric:
+    """The interconnect instance: a factory for NICs sharing parameters."""
+
+    def __init__(self, sched, params: FabricParams):
+        self.sched = sched
+        self.params = params
+        self.nics: list = []
+
+    def create_nic(self):
+        from repro.netsim.nic import Nic
+
+        nic = Nic(self, len(self.nics))
+        self.nics.append(nic)
+        return nic
+
+    def wire_delay(self) -> int:
+        """One message's one-way wire time: latency + seeded jitter."""
+        p = self.params
+        if p.wire_jitter_ns:
+            return p.wire_latency_ns + self.sched.rng.randrange(p.wire_jitter_ns)
+        return p.wire_latency_ns

@@ -1,0 +1,21 @@
+"""InfiniBand-EDR-like fabric preset (the Alembert testbed's interconnect).
+
+EDR is 100 Gb/s (~12.5 GB/s, 0.08 ns/B).  No hardware limit on the number
+of contexts a process can open, so CRIs can always match the thread count
+-- this is the fabric behind the paper's two-sided experiments (uct BTL,
+Figures 3-5).
+"""
+
+from repro.netsim.fabric import FabricParams
+
+IB_EDR = FabricParams(
+    name="ib-edr",
+    inject_overhead_ns=90,
+    per_byte_ns=0.08,
+    doorbell_ns=60,
+    wire_latency_ns=900,
+    wire_jitter_ns=400,
+    pipeline_gap_ns=30,
+    rdma_ack_latency_ns=700,
+    max_contexts=None,
+)

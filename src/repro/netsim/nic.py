@@ -1,0 +1,57 @@
+"""Per-node network interface with a shared injection pipeline."""
+
+from __future__ import annotations
+
+from repro.netsim.context import NetworkContext
+
+
+class ContextLimitError(RuntimeError):
+    """The fabric's hardware context limit was exceeded (e.g. Cray Aries)."""
+
+
+class Nic:
+    """One node's NIC: owns contexts and serializes its message pipeline.
+
+    The pipeline models the NIC-internal processing engine: no two
+    messages can start injection less than ``pipeline_gap_ns`` apart,
+    regardless of which context they use.  This is a *time resource*, not
+    a lock -- hardware arbitration needs no software synchronization.
+    """
+
+    def __init__(self, fabric, nic_id: int):
+        self.fabric = fabric
+        self.nic_id = nic_id
+        self.contexts: list[NetworkContext] = []
+        self._pipeline_free_at: int = 0
+        self.messages_injected: int = 0
+        self.bytes_injected: int = 0
+
+    def create_context(self) -> NetworkContext:
+        limit = self.fabric.params.max_contexts
+        if limit is not None and len(self.contexts) >= limit:
+            raise ContextLimitError(
+                f"fabric {self.fabric.params.name!r} allows at most {limit} "
+                f"contexts per NIC; cannot create context #{len(self.contexts)}")
+        ctx = NetworkContext(self, len(self.contexts))
+        self.contexts.append(ctx)
+        return ctx
+
+    def injection_window(self, ctx: NetworkContext, nbytes: int) -> tuple[int, int]:
+        """Reserve pipeline+context time for one message.
+
+        Returns ``(start, done)`` virtual times.  Mutates the NIC pipeline
+        and the context's injection-queue availability.
+        """
+        p = self.fabric.params
+        now = self.fabric.sched.now
+        start = max(now, self._pipeline_free_at, ctx.inject_free_at)
+        serialization = int(nbytes * p.per_byte_ns)
+        done = start + p.inject_overhead_ns + serialization
+        # The link itself is one pipe: the NIC cannot start the next
+        # message (from ANY context) until this one's bytes are on the
+        # wire, and never faster than the message-pipeline gap.
+        self._pipeline_free_at = start + max(p.pipeline_gap_ns, serialization)
+        ctx.inject_free_at = done
+        self.messages_injected += 1
+        self.bytes_injected += nbytes
+        return start, done

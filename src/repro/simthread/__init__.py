@@ -1,0 +1,66 @@
+"""Deterministic simulated-threading substrate.
+
+This package provides the execution model underneath the whole reproduction:
+*simulated threads* are generator coroutines scheduled on a virtual-time
+discrete-event scheduler.  All costs are expressed in integer nanoseconds of
+virtual time, so contention, serialization and interleaving effects are
+emergent properties of the schedule rather than artifacts of the host
+machine (or of the CPython GIL, which would otherwise defeat a threading
+study in Python).
+
+Public surface:
+
+* :class:`~repro.simthread.scheduler.Scheduler` -- the event loop.
+* :class:`~repro.simthread.thread.SimThread` -- a simulated thread handle.
+* :class:`~repro.simthread.sync.SimLock` and friends -- synchronization
+  primitives with modeled acquisition/handoff/migration costs.
+* :class:`~repro.simthread.atomics.AtomicCounter` -- modeled atomic RMW.
+* :class:`~repro.simthread.tls.ThreadLocal` -- thread-local storage.
+
+A simulated thread body is a generator.  It interacts with the scheduler by
+``yield``-ing commands, usually through helpers::
+
+    def worker(sched, lock, counter):
+        yield Delay(100)                      # do 100 ns of work
+        yield from lock.acquire()
+        v = yield from counter.fetch_add()
+        yield from lock.release()
+        return v
+
+    sched = Scheduler(seed=1)
+    t = sched.spawn(worker(sched, lock, counter))
+    sched.run()
+    assert t.done
+"""
+
+from repro.simthread.errors import DeadlockError, SimError, SimThreadError
+from repro.simthread.scheduler import SUSPEND, Delay, Scheduler, YieldNow
+from repro.simthread.thread import SimThread
+from repro.simthread.sync import (
+    LockCosts,
+    SimBarrier,
+    SimCondition,
+    SimLock,
+    SimSemaphore,
+)
+from repro.simthread.atomics import AtomicCounter, AtomicFlag
+from repro.simthread.tls import ThreadLocal
+
+__all__ = [
+    "AtomicCounter",
+    "AtomicFlag",
+    "DeadlockError",
+    "Delay",
+    "LockCosts",
+    "SUSPEND",
+    "Scheduler",
+    "SimBarrier",
+    "SimCondition",
+    "SimError",
+    "SimLock",
+    "SimSemaphore",
+    "SimThread",
+    "SimThreadError",
+    "ThreadLocal",
+    "YieldNow",
+]

@@ -1,0 +1,75 @@
+"""Modeled atomic operations.
+
+Within the discrete-event model a read-modify-write executed between two
+yields is atomic by construction (threads are never preempted mid-step), so
+these classes only need to (a) charge the hardware cost of an atomic RMW and
+(b) expose the familiar fetch-and-add interface the paper's round-robin
+instance assignment relies on (Algorithm 1).
+
+The *value* is updated at the instant the operation starts -- later callers
+observe later values -- while the caller pays the RMW latency before
+continuing, matching how an x86 ``lock xadd`` globally orders immediately
+but stalls the issuing core.
+"""
+
+from __future__ import annotations
+
+from repro.simthread.scheduler import Delay
+
+
+class AtomicCounter:
+    """Atomic integer with fetch-and-add semantics."""
+
+    __slots__ = ("_sched", "_value", "cost_ns", "operations")
+
+    def __init__(self, sched, start: int = 0, cost_ns: int = 30):
+        self._sched = sched
+        self._value = start
+        self.cost_ns = cost_ns
+        self.operations = 0
+
+    @property
+    def value(self) -> int:
+        """Relaxed read (cost-free, like a plain load)."""
+        return self._value
+
+    def fetch_add(self, n: int = 1):
+        """Generator: atomically add ``n``; returns the previous value."""
+        old = self._value
+        self._value += n
+        self.operations += 1
+        yield Delay(self.cost_ns)
+        return old
+
+    def store(self, value: int):
+        """Generator: atomic store."""
+        self._value = value
+        self.operations += 1
+        yield Delay(self.cost_ns)
+
+
+class AtomicFlag:
+    """Atomic boolean with test-and-set / clear."""
+
+    __slots__ = ("_sched", "_value", "cost_ns")
+
+    def __init__(self, sched, value: bool = False, cost_ns: int = 30):
+        self._sched = sched
+        self._value = bool(value)
+        self.cost_ns = cost_ns
+
+    @property
+    def value(self) -> bool:
+        return self._value
+
+    def test_and_set(self):
+        """Generator: set the flag; returns the previous value."""
+        old = self._value
+        self._value = True
+        yield Delay(self.cost_ns)
+        return old
+
+    def clear(self):
+        """Generator: clear the flag."""
+        self._value = False
+        yield Delay(self.cost_ns)

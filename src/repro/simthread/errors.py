@@ -1,0 +1,27 @@
+"""Exceptions raised by the simulated-threading substrate."""
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeadlockError(SimError):
+    """The event heap drained while threads were still parked.
+
+    Raised by :meth:`Scheduler.run` when no event remains but one or more
+    simulated threads are suspended waiting for a wake-up that can never
+    arrive (e.g. a lock that is never released).
+    """
+
+    def __init__(self, parked):
+        self.parked = list(parked)
+        names = ", ".join(t.name for t in self.parked)
+        super().__init__(f"deadlock: {len(self.parked)} thread(s) parked forever: {names}")
+
+
+class SimThreadError(SimError):
+    """A simulated thread misused the substrate API.
+
+    Examples: releasing a lock it does not own, joining itself, or yielding
+    an object the scheduler does not understand.
+    """

@@ -1,0 +1,230 @@
+"""Virtual-time discrete-event scheduler driving simulated threads.
+
+The scheduler owns a single event heap keyed by ``(virtual_time, tick)``
+where ``tick`` is a monotonically increasing tie-breaker, so runs are fully
+deterministic for a given seed.  Randomness (cost jitter, unfair lock
+grants) flows exclusively through the scheduler's seeded ``random.Random``.
+
+Simulated threads communicate with the scheduler by yielding *commands*:
+
+``Delay(ns)``
+    Resume this thread after ``ns`` nanoseconds of virtual time (optionally
+    jittered to model run-to-run hardware variation).
+
+``YieldNow()``
+    Cooperative yield: resume at the same virtual time, after every event
+    already queued for this instant.
+
+``SUSPEND``
+    Park the thread.  Some other component (a lock release, a thread
+    finishing) is responsible for calling :meth:`Scheduler.wake` later.
+
+Anything more elaborate (locks, barriers, atomics) is built on top of these
+three primitives in sibling modules.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+
+from repro.simthread.errors import DeadlockError, SimThreadError
+from repro.simthread.thread import SimThread
+
+
+class Delay:
+    """Command: advance this thread's clock by ``ns`` nanoseconds.
+
+    ``jitter=True`` (the default) perturbs the cost by the scheduler's
+    configured relative jitter, modeling cycle-level timing noise.  Pass
+    ``jitter=False`` for quantities that must be exact (e.g. a calibrated
+    wire latency whose jitter is modeled separately).
+    """
+
+    __slots__ = ("ns", "jitter")
+
+    def __init__(self, ns: int, jitter: bool = True):
+        self.ns = ns
+        self.jitter = jitter
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"Delay({self.ns}, jitter={self.jitter})"
+
+
+class YieldNow:
+    """Command: reschedule at the current instant, after queued peers."""
+
+    __slots__ = ()
+
+
+class _Suspend:
+    """Command singleton: park the thread until an explicit wake."""
+
+    __slots__ = ()
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return "SUSPEND"
+
+
+SUSPEND = _Suspend()
+
+
+class Scheduler:
+    """Deterministic virtual-time event loop for simulated threads.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the run's single random stream.  Two runs with the same
+        seed and the same spawned generators produce identical schedules.
+    jitter:
+        Relative timing noise applied to jitterable :class:`Delay` costs,
+        e.g. ``0.05`` perturbs each cost uniformly within +/-5%.  Zero
+        disables noise entirely.
+    """
+
+    def __init__(self, seed: int = 0, jitter: float = 0.05):
+        self.now: int = 0
+        self.rng = random.Random(seed)
+        self.jitter = float(jitter)
+        self.events_processed: int = 0
+        self.current: SimThread | None = None
+        self._heap: list = []
+        self._tick = itertools.count()
+        self._threads: list[SimThread] = []
+        self._nparked = 0
+        self._failure: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # thread lifecycle
+    # ------------------------------------------------------------------
+    def spawn(self, gen, name: str | None = None) -> SimThread:
+        """Register a generator as a new simulated thread, runnable now."""
+        if not hasattr(gen, "send"):
+            raise SimThreadError(f"spawn() needs a generator, got {type(gen).__name__}")
+        thread = SimThread(self, gen, name or f"thread-{len(self._threads)}")
+        self._threads.append(thread)
+        self._push(thread, self.now, None)
+        return thread
+
+    @property
+    def threads(self) -> tuple[SimThread, ...]:
+        return tuple(self._threads)
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, thread: SimThread, when: int, value) -> None:
+        thread._resume_value = value
+        thread._parked = False
+        heapq.heappush(self._heap, (when, next(self._tick), thread))
+
+    def wake(self, thread: SimThread, value=None, delay: int = 0) -> None:
+        """Unpark a suspended thread, resuming it ``delay`` ns from now.
+
+        ``value`` becomes the result of the ``yield SUSPEND`` expression in
+        the thread body.
+        """
+        if thread.done:
+            raise SimThreadError(f"cannot wake finished thread {thread.name}")
+        if not thread._parked:
+            raise SimThreadError(f"thread {thread.name} is not parked")
+        self._nparked -= 1
+        self._push(thread, self.now + delay, value)
+
+    def call_at(self, when: int, fn, *args) -> None:
+        """Run a plain callback (not a thread) at virtual time ``when``.
+
+        Used by the network model to deliver messages: the callback runs
+        with ``self.now == when`` and must not yield.
+        """
+        heapq.heappush(self._heap, (when, next(self._tick), _Callback(fn, args)))
+
+    def jittered(self, ns: int) -> int:
+        """Apply the configured relative jitter to a cost in nanoseconds."""
+        if ns <= 0:
+            return 0
+        if self.jitter:
+            return max(0, int(ns * (1.0 + self.jitter * (2.0 * self.rng.random() - 1.0))))
+        return ns
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, max_time: int | None = None, max_events: int | None = None) -> int:
+        """Drain the event heap; return the final virtual time in ns.
+
+        Raises
+        ------
+        DeadlockError
+            If the heap empties while threads remain parked.
+        Exception
+            Any exception escaping a thread body is re-raised here (the
+            simulation is aborted at that point).
+        """
+        heap = self._heap
+        while heap:
+            when, _, item = heapq.heappop(heap)
+            if max_time is not None and when > max_time:
+                heapq.heappush(heap, (when, next(self._tick), item))
+                break
+            self.now = when
+            self.events_processed += 1
+            if max_events is not None and self.events_processed > max_events:
+                raise SimThreadError(f"exceeded max_events={max_events} (runaway simulation?)")
+            if isinstance(item, _Callback):
+                item.fn(*item.args)
+                continue
+            if item.done:  # stale heap entry for an aborted thread
+                continue
+            self._step(item)
+            if self._failure is not None:
+                failure, self._failure = self._failure, None
+                raise failure
+        if max_time is None and self._nparked:
+            parked = [t for t in self._threads if t._parked and not t.done]
+            if parked:
+                raise DeadlockError(parked)
+        return self.now
+
+    def _step(self, thread: SimThread) -> None:
+        value = thread._resume_value
+        thread._resume_value = None
+        self.current = thread
+        try:
+            try:
+                cmd = thread._gen.send(value)
+            except StopIteration as stop:
+                thread._finish(getattr(stop, "value", None))
+                return
+            except Exception as exc:
+                thread._abort(exc)
+                self._failure = exc
+                return
+        finally:
+            self.current = None
+
+        if cmd is SUSPEND:
+            thread._parked = True
+            self._nparked += 1
+        elif type(cmd) is Delay:
+            ns = self.jittered(cmd.ns) if cmd.jitter else cmd.ns
+            self._push(thread, self.now + ns, None)
+        elif type(cmd) is YieldNow:
+            self._push(thread, self.now, None)
+        else:
+            exc = SimThreadError(f"thread {thread.name} yielded unknown command {cmd!r}")
+            thread._abort(exc)
+            self._failure = exc
+
+
+class _Callback:
+    """Internal heap item wrapping a plain function call."""
+
+    __slots__ = ("fn", "args", "done")
+
+    def __init__(self, fn, args):
+        self.fn = fn
+        self.args = args
+        self.done = False

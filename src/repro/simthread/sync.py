@@ -1,0 +1,263 @@
+"""Synchronization primitives with modeled costs.
+
+The centerpiece is :class:`SimLock`, which models the behaviours the paper's
+designs hinge on:
+
+* **uncontended vs contended acquisition** -- a thread that wins a free lock
+  pays ``acquire_ns``; a thread granted the lock after waiting pays the
+  larger ``contended_ns`` (handoff + cache-line transfer).
+* **try-lock semantics** (paper section III-C) -- ``try_acquire`` never
+  blocks; a failed attempt costs ``tryfail_ns`` and returns ``False``.
+* **unfair grant order** -- real pthread mutexes do not hand the lock to
+  waiters FIFO; barging and wakeup races make the grant order effectively
+  random.  This unfairness is what reorders sender threads between sequence
+  number assignment and network injection, producing the paper's massive
+  out-of-sequence message counts (Table II).  ``fairness='fair'`` is
+  available for ablation studies.
+* **owner-migration penalty** -- when a lock's protected data structure is
+  touched by a different core than last time, the working set migrates
+  between caches.  ``migration_ns`` charges that penalty whenever the new
+  holder differs from the previous holder.  This is the mechanism behind
+  the paper's observation that *concurrent progress* triples matching time
+  (Table II): the match lock migrates on nearly every message, whereas a
+  serial progress engine keeps the matching structures hot in one core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simthread.errors import SimThreadError
+from repro.simthread.scheduler import SUSPEND, Delay
+
+
+@dataclass(frozen=True)
+class LockCosts:
+    """Virtual-time costs (ns) for one lock instance.
+
+    ``contended_per_waiter_ns`` models the futex convoy: when a mutex is
+    handed off under load, the wakeup path (scheduler activity, cache-line
+    storms among spinners) costs more the more threads are queued.  This
+    is the pathology that makes a single shared instance collapse as
+    thread counts grow (paper Fig. 3a, red lines) while try-lock-based
+    paths -- which never enqueue -- stay flat.
+    """
+
+    acquire_ns: int = 25
+    contended_ns: int = 180
+    release_ns: int = 15
+    tryfail_ns: int = 35
+    migration_ns: int = 0
+    contended_per_waiter_ns: int = 0
+
+    def scaled(self, factor: float) -> "LockCosts":
+        """Return a copy with every cost multiplied by ``factor``.
+
+        Used by testbed presets to derate slow cores (e.g. KNL).
+        """
+        return LockCosts(
+            acquire_ns=int(self.acquire_ns * factor),
+            contended_ns=int(self.contended_ns * factor),
+            release_ns=int(self.release_ns * factor),
+            tryfail_ns=int(self.tryfail_ns * factor),
+            migration_ns=int(self.migration_ns * factor),
+            contended_per_waiter_ns=int(self.contended_per_waiter_ns * factor),
+        )
+
+
+class SimLock:
+    """Mutual-exclusion lock for simulated threads.
+
+    All methods that can consume virtual time are generators and must be
+    driven with ``yield from``.
+    """
+
+    __slots__ = ("_sched", "costs", "name", "fairness", "_owner", "_last_owner",
+                 "_waiters", "acquisitions", "contended_acquisitions", "migrations",
+                 "tryfails", "_handoff_queue_depth")
+
+    def __init__(self, sched, costs: LockCosts | None = None, name: str = "lock",
+                 fairness: str = "unfair"):
+        if fairness not in ("unfair", "fair"):
+            raise ValueError(f"fairness must be 'unfair' or 'fair', got {fairness!r}")
+        self._sched = sched
+        self.costs = costs or LockCosts()
+        self.name = name
+        self.fairness = fairness
+        self._owner = None
+        self._last_owner = None
+        self._waiters: list = []
+        self._handoff_queue_depth = 0
+        # statistics (inspected by tests and the SPC layer)
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+        self.migrations = 0
+        self.tryfails = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    @property
+    def holder(self):
+        return self._owner
+
+    def _migration_cost(self, thread) -> int:
+        if self.costs.migration_ns and self._last_owner is not None \
+                and self._last_owner is not thread:
+            self.migrations += 1
+            return self.costs.migration_ns
+        return 0
+
+    # ------------------------------------------------------------------
+    def acquire(self):
+        """Generator: block until the lock is owned by the calling thread."""
+        me = self._sched.current
+        if self._owner is None:
+            self._owner = me
+            self.acquisitions += 1
+            yield Delay(self.costs.acquire_ns + self._migration_cost(me))
+            return
+        self._waiters.append(me)
+        yield SUSPEND
+        # The releasing thread transferred ownership to us before waking us.
+        if self._owner is not me:  # pragma: no cover - invariant guard
+            raise SimThreadError(f"lock {self.name}: woken without ownership")
+        self.acquisitions += 1
+        self.contended_acquisitions += 1
+        convoy = self.costs.contended_per_waiter_ns * self._handoff_queue_depth
+        yield Delay(self.costs.contended_ns + convoy + self._migration_cost(me))
+
+    def try_acquire(self):
+        """Generator: attempt the lock without blocking; returns bool."""
+        me = self._sched.current
+        if self._owner is None:
+            self._owner = me
+            self.acquisitions += 1
+            yield Delay(self.costs.acquire_ns + self._migration_cost(me))
+            return True
+        self.tryfails += 1
+        yield Delay(self.costs.tryfail_ns)
+        return False
+
+    def release(self):
+        """Generator: release; grants directly to one waiter if any."""
+        me = self._sched.current
+        if self._owner is not me:
+            raise SimThreadError(
+                f"lock {self.name}: release by non-owner "
+                f"{me.name if me else None} (owner={self._owner})")
+        self._last_owner = me
+        if self._waiters:
+            if self.fairness == "unfair" and len(self._waiters) > 1:
+                idx = self._sched.rng.randrange(len(self._waiters))
+            else:
+                idx = 0
+            winner = self._waiters.pop(idx)
+            self._owner = winner
+            self._handoff_queue_depth = len(self._waiters)
+            self._sched.wake(winner)
+        else:
+            self._owner = None
+        yield Delay(self.costs.release_ns)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        state = f"held by {self._owner.name}" if self._owner else "free"
+        return f"<SimLock {self.name} {state}, {len(self._waiters)} waiting>"
+
+
+class SimSemaphore:
+    """Counting semaphore built on park/wake."""
+
+    __slots__ = ("_sched", "_count", "_waiters", "op_ns")
+
+    def __init__(self, sched, initial: int = 0, op_ns: int = 30):
+        if initial < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        self._sched = sched
+        self._count = initial
+        self._waiters: list = []
+        self.op_ns = op_ns
+
+    @property
+    def value(self) -> int:
+        return self._count
+
+    def post(self):
+        """Generator: V operation."""
+        if self._waiters:
+            self._sched.wake(self._waiters.pop(0))
+        else:
+            self._count += 1
+        yield Delay(self.op_ns)
+
+    def wait(self):
+        """Generator: P operation; blocks while the count is zero."""
+        if self._count > 0:
+            self._count -= 1
+            yield Delay(self.op_ns)
+            return
+        self._waiters.append(self._sched.current)
+        yield SUSPEND
+        yield Delay(self.op_ns)
+
+
+class SimCondition:
+    """Condition variable: wait/notify over an external SimLock."""
+
+    __slots__ = ("_sched", "_lock", "_waiters")
+
+    def __init__(self, sched, lock: SimLock):
+        self._sched = sched
+        self._lock = lock
+        self._waiters: list = []
+
+    def wait(self):
+        """Generator: atomically release the lock and park; reacquires."""
+        me = self._sched.current
+        if self._lock.holder is not me:
+            raise SimThreadError("condition wait without holding the lock")
+        self._waiters.append(me)
+        yield from self._lock.release()
+        yield SUSPEND
+        yield from self._lock.acquire()
+
+    def notify(self, n: int = 1):
+        """Generator: wake up to ``n`` waiters (they re-contend the lock)."""
+        for _ in range(min(n, len(self._waiters))):
+            self._sched.wake(self._waiters.pop(0))
+        yield Delay(20)
+
+    def notify_all(self):
+        yield from self.notify(len(self._waiters))
+
+
+class SimBarrier:
+    """Reusable barrier for a fixed party count."""
+
+    __slots__ = ("_sched", "parties", "_arrived", "_waiters", "generation")
+
+    def __init__(self, sched, parties: int):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self._sched = sched
+        self.parties = parties
+        self._arrived = 0
+        self._waiters: list = []
+        self.generation = 0
+
+    def wait(self):
+        """Generator: park until ``parties`` threads have arrived."""
+        self._arrived += 1
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self.generation += 1
+            waiters, self._waiters = self._waiters, []
+            for w in waiters:
+                self._sched.wake(w)
+            yield Delay(40)
+            return
+        self._waiters.append(self._sched.current)
+        yield SUSPEND
+        yield Delay(40)

@@ -1,0 +1,69 @@
+"""Fenwick (binary indexed) tree over dynamically growing index space.
+
+The MPI matching engine needs, per incoming message, the *number of live
+posted receives that were enqueued before the matched one* -- that is the
+list-scan depth a real implementation pays linearly.  Maintaining live
+entries as +1/-1 marks in a Fenwick tree keyed by insertion id gives that
+count in O(log n) host time while the simulator charges the modeled linear
+cost in virtual time.
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """Prefix-sum tree over non-negative integer indices."""
+
+    __slots__ = ("_tree", "_size", "total")
+
+    def __init__(self, size: int = 64):
+        self._size = max(1, size)
+        self._tree = [0] * (self._size + 1)
+        self.total = 0
+
+    def _grow(self, index: int) -> None:
+        new_size = self._size
+        while index >= new_size:
+            new_size *= 2
+        old_items = []
+        for i in range(self._size):
+            v = self._point_value(i)
+            if v:
+                old_items.append((i, v))
+        self._size = new_size
+        self._tree = [0] * (new_size + 1)
+        total = self.total
+        self.total = 0
+        for i, v in old_items:
+            self.add(i, v)
+        assert self.total == total
+
+    def _point_value(self, index: int) -> int:
+        return self.prefix_sum(index) - (self.prefix_sum(index - 1) if index else 0)
+
+    def add(self, index: int, delta: int = 1) -> None:
+        """Add ``delta`` at position ``index`` (grows as needed)."""
+        if index < 0:
+            raise IndexError("FenwickTree index must be >= 0")
+        if index >= self._size:
+            self._grow(index)
+        i = index + 1
+        while i <= self._size:
+            self._tree[i] += delta
+            i += i & (-i)
+        self.total += delta
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of values at positions [0, index]."""
+        if index < 0:
+            return 0
+        i = min(index + 1, self._size)
+        s = 0
+        while i > 0:
+            s += self._tree[i]
+            i -= i & (-i)
+        return s
+
+    def count_before(self, index: int) -> int:
+        """Number of (unit) items strictly before ``index``."""
+        return self.prefix_sum(index - 1)

@@ -1,0 +1,50 @@
+"""Small statistics helpers for repeated-trial experiment results.
+
+The paper reports "the mean and the standard deviation" over several hundred
+runs; we do the same over a configurable number of seeded trials.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def pstdev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for a single sample)."""
+    values = list(values)
+    if not values:
+        raise ValueError("pstdev of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))
+
+
+def summarize(values: Iterable[float]) -> tuple[float, float]:
+    """Return ``(mean, population std)`` of the values."""
+    values = list(values)
+    return mean(values), pstdev(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio used in shape checks; denominator must be positive."""
+    if denominator <= 0:
+        raise ValueError(f"ratio denominator must be > 0, got {denominator}")
+    return numerator / denominator

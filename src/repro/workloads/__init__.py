@@ -1,0 +1,28 @@
+"""Benchmark workloads: Multirate-pairwise and RMA-MT reimplementations.
+
+* :mod:`~repro.workloads.multirate` -- the Multirate benchmark's pairwise
+  pattern (Patinyasakdikul et al., EuroMPI'19): pairs of communication
+  entities mapped to threads, processes, or a hybrid of both (the paper's
+  Figure 2), flooding zero-byte (envelope-only) messages in windows.
+* :mod:`~repro.workloads.rmamt` -- the RMA-MT benchmark (Dosanjh et al.,
+  CCGrid'16): N threads each issuing a batch of one-sided operations per
+  message size, synchronized with MPI_Win_flush.
+* :mod:`~repro.workloads.patterns` -- entity-to-(process, thread) binding
+  helpers shared by both.
+"""
+
+from repro.workloads.multirate import MultirateConfig, MultirateResult, run_multirate
+from repro.workloads.patterns import ENTITY_MODES, PairBinding, pair_bindings
+from repro.workloads.rmamt import RmaMtConfig, RmaMtResult, run_rmamt
+
+__all__ = [
+    "ENTITY_MODES",
+    "MultirateConfig",
+    "MultirateResult",
+    "PairBinding",
+    "RmaMtConfig",
+    "RmaMtResult",
+    "pair_bindings",
+    "run_multirate",
+    "run_rmamt",
+]

@@ -1,0 +1,64 @@
+"""Entity binding modes for pairwise benchmarks (paper Figure 2).
+
+Multirate-pairwise spawns pairs of communication entities; each entity is
+either an MPI process of its own or one thread inside a shared process:
+
+* ``threads``   -- P|T T T T ... on node 0 talking to P|T T T T on node 1
+  (one MPI process per node, one thread per pair on each side);
+* ``processes`` -- P P P P ... vs P P P P (one single-threaded MPI process
+  per entity; the classic process-per-core baseline);
+* ``hybrid``    -- threads on node 0 talking to processes on node 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ENTITY_MODES = ("threads", "processes", "hybrid")
+
+
+@dataclass(frozen=True)
+class PairBinding:
+    """Where one communication pair lives.
+
+    ``send_rank``/``recv_rank`` are MPI world ranks; ``tag`` is the pair's
+    private tag (entities in a shared process need distinct tags to tell
+    their traffic apart).
+    """
+
+    pair: int
+    send_rank: int
+    recv_rank: int
+    tag: int
+
+
+def world_shape(mode: str, pairs: int) -> tuple[int, list[int]]:
+    """Return ``(nprocs, placement)`` for a binding mode.
+
+    Placement maps rank -> node (two nodes always).
+    """
+    if mode not in ENTITY_MODES:
+        raise ValueError(f"entity mode must be one of {ENTITY_MODES}, got {mode!r}")
+    if pairs < 1:
+        raise ValueError("need at least one pair")
+    if mode == "threads":
+        return 2, [0, 1]
+    if mode == "processes":
+        return 2 * pairs, [0] * pairs + [1] * pairs
+    # hybrid: one multithreaded sender process on node 0, one process per
+    # receiving entity on node 1.
+    return 1 + pairs, [0] + [1] * pairs
+
+
+def pair_bindings(mode: str, pairs: int) -> list[PairBinding]:
+    """Bind each pair to (sender rank, receiver rank, tag)."""
+    nprocs, _ = world_shape(mode, pairs)
+    bindings = []
+    for i in range(pairs):
+        if mode == "threads":
+            bindings.append(PairBinding(i, 0, 1, i))
+        elif mode == "processes":
+            bindings.append(PairBinding(i, i, pairs + i, 0))
+        else:
+            bindings.append(PairBinding(i, 0, 1 + i, i))
+    return bindings

@@ -1,0 +1,53 @@
+"""Implementation profiles (Figure 5 baselines)."""
+
+import pytest
+
+from repro.baselines import FIGURE5_PROFILES, profile_by_name
+from repro.core import CostModel
+from repro.workloads import MultirateConfig, run_multirate
+
+
+def test_eight_profiles_registered():
+    assert len(FIGURE5_PROFILES) == 8
+    names = [p.name for p in FIGURE5_PROFILES]
+    assert "OMPI Thread + CRIs*" in names
+    assert sum(1 for p in FIGURE5_PROFILES if p.entity_mode == "processes") == 3
+
+
+def test_profile_lookup():
+    p = profile_by_name("MPICH Thread")
+    assert p.entity_mode == "threads"
+    with pytest.raises(KeyError):
+        profile_by_name("LAM/MPI")
+
+
+def test_cost_scale_applied():
+    impi = profile_by_name("IMPI Thread")
+    base = CostModel()
+    tuned = impi.costs(base)
+    assert tuned.send_path_ns == int(base.send_path_ns * 0.92)
+    ompi = profile_by_name("OMPI Thread")
+    assert ompi.costs(base) is base  # scale 1.0: untouched
+
+
+def test_cris_star_uses_concurrent_matching():
+    star = profile_by_name("OMPI Thread + CRIs*")
+    assert star.comm_per_pair
+    assert star.config.progress == "concurrent"
+    assert star.config.num_instances == 20
+
+
+def run_profile(profile, pairs=4):
+    cfg = MultirateConfig(pairs=pairs, window=24, windows=2,
+                          entity_mode=profile.entity_mode,
+                          comm_per_pair=profile.comm_per_pair)
+    return run_multirate(cfg, threading=profile.config,
+                         costs=profile.costs()).message_rate
+
+
+def test_figure5_ordering_holds_at_moderate_pairs():
+    """The paper's reading: process > CRIs* > CRIs >= base thread."""
+    process = run_profile(profile_by_name("OMPI Process"))
+    star = run_profile(profile_by_name("OMPI Thread + CRIs*"))
+    base = run_profile(profile_by_name("OMPI Thread"))
+    assert process > star > base

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ThreadingConfig
+from repro.mpi import MpiWorld
+from repro.simthread import Scheduler
+
+
+@pytest.fixture
+def sched():
+    """A deterministic scheduler (jitter on, fixed seed)."""
+    return Scheduler(seed=12345, jitter=0.05)
+
+
+@pytest.fixture
+def quiet_sched():
+    """A scheduler with zero jitter for exact-time assertions."""
+    return Scheduler(seed=0, jitter=0.0)
+
+
+def make_world(sched, nprocs=2, instances=2, assignment="dedicated",
+               progress="serial", **kwargs):
+    return MpiWorld(sched, nprocs=nprocs,
+                    config=ThreadingConfig(num_instances=instances,
+                                           assignment=assignment,
+                                           progress=progress),
+                    **kwargs)
+
+
+@pytest.fixture
+def world(sched):
+    """A small two-process world with two CRIs each."""
+    return make_world(sched)
+
+
+def drive(sched, *gens):
+    """Spawn generators as threads, run to completion, return the threads."""
+    threads = [sched.spawn(g) for g in gens]
+    sched.run()
+    return threads

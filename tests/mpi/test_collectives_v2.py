@@ -1,0 +1,162 @@
+"""Collectives round 2: tree algorithms, scatter/allgather/alltoall."""
+
+import pytest
+
+from repro.mpi import collectives
+from tests.conftest import make_world
+
+
+def spawn_all(sched, world, body, ranks=None):
+    ranks = ranks if ranks is not None else range(world.nprocs)
+    threads = [sched.spawn(body(world.env(r)), name=f"rank{r}") for r in ranks]
+    sched.run()
+    return threads
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+def test_binomial_bcast_all_sizes(sched, nprocs):
+    world = make_world(sched, nprocs=nprocs)
+
+    def body(env):
+        payload = "the word" if env.rank == 0 else None
+        value = yield from env.bcast(world.comm_world, root=0, payload=payload,
+                                     algorithm="binomial")
+        return value
+
+    threads = spawn_all(sched, world, body)
+    assert all(t.result == "the word" for t in threads)
+
+
+def test_binomial_bcast_nonzero_root(sched):
+    world = make_world(sched, nprocs=6)
+
+    def body(env):
+        payload = [env.rank] if env.rank == 4 else None
+        value = yield from env.bcast(world.comm_world, root=4, payload=payload,
+                                     algorithm="binomial")
+        return value
+
+    threads = spawn_all(sched, world, body)
+    assert all(t.result == [4] for t in threads)
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 7])
+def test_binomial_reduce_matches_linear(sched, nprocs):
+    world = make_world(sched, nprocs=nprocs)
+
+    def body(env):
+        lin = yield from env.reduce(world.comm_world, root=0,
+                                    value=env.rank + 1, algorithm="linear")
+        tree = yield from env.reduce(world.comm_world, root=0,
+                                     value=env.rank + 1, algorithm="binomial")
+        return lin, tree
+
+    threads = spawn_all(sched, world, body)
+    expected = sum(range(1, nprocs + 1))
+    assert threads[0].result == (expected, expected)
+
+
+def test_binomial_allreduce(sched):
+    world = make_world(sched, nprocs=5)
+
+    def body(env):
+        r = yield from env.allreduce(world.comm_world, value=2 ** env.rank,
+                                     algorithm="binomial")
+        return r
+
+    threads = spawn_all(sched, world, body)
+    assert all(t.result == 31 for t in threads)
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 6])
+def test_dissemination_barrier(sched, nprocs):
+    world = make_world(sched, nprocs=nprocs)
+    release = []
+
+    def body(env):
+        from repro.simthread import Delay
+        yield Delay((env.rank + 1) * 7_000)
+        yield from env.barrier(world.comm_world, algorithm="dissemination")
+        release.append(env.sched.now)
+
+    spawn_all(sched, world, body)
+    assert len(release) == nprocs
+    assert min(release) >= nprocs * 7_000
+
+
+def test_unknown_algorithm_rejected(sched, world):
+    def body(env):
+        yield from env.bcast(world.comm_world, root=0, algorithm="quantum")
+
+    sched.spawn(body(world.env(0)))
+    with pytest.raises(ValueError, match="algorithm"):
+        sched.run()
+
+
+def test_scatter(sched):
+    world = make_world(sched, nprocs=4)
+
+    def body(env):
+        values = [f"for-{r}" for r in range(4)] if env.rank == 1 else None
+        mine = yield from env.scatter(world.comm_world, root=1, values=values)
+        return mine
+
+    threads = spawn_all(sched, world, body)
+    assert [t.result for t in threads] == [f"for-{r}" for r in range(4)]
+
+
+def test_scatter_wrong_length_rejected(sched):
+    world = make_world(sched, nprocs=3)
+
+    def root_body(env):
+        yield from env.scatter(world.comm_world, root=0, values=[1, 2])
+
+    sched.spawn(root_body(world.env(0)))
+    with pytest.raises(ValueError, match="exactly 3"):
+        sched.run()
+
+
+def test_allgather(sched):
+    world = make_world(sched, nprocs=4)
+
+    def body(env):
+        result = yield from env.allgather(world.comm_world, value=env.rank * 10)
+        return result
+
+    threads = spawn_all(sched, world, body)
+    assert all(t.result == [0, 10, 20, 30] for t in threads)
+
+
+def test_alltoall(sched):
+    world = make_world(sched, nprocs=4)
+
+    def body(env):
+        outgoing = [(env.rank, dest) for dest in range(4)]
+        received = yield from env.alltoall(world.comm_world, outgoing)
+        return received
+
+    threads = spawn_all(sched, world, body)
+    for r, t in enumerate(threads):
+        assert t.result == [(src, r) for src in range(4)]
+
+
+def test_alltoall_wrong_length(sched, world):
+    def body(env):
+        yield from env.alltoall(world.comm_world, [1, 2, 3])
+
+    sched.spawn(body(world.env(0)))
+    with pytest.raises(ValueError, match="exactly 2"):
+        sched.run()
+
+
+def test_tree_collectives_on_subcommunicator(sched):
+    world = make_world(sched, nprocs=6)
+    sub = world.create_comm((1, 2, 5))
+
+    def body(env):
+        r = yield from env.allreduce(sub, value=env.rank, op=collectives.MAX,
+                                     algorithm="binomial")
+        return r
+
+    threads = spawn_all(sched, world, body, ranks=(1, 2, 5))
+    assert all(t.result == 5 for t in threads)

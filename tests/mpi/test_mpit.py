@@ -1,0 +1,75 @@
+"""MPI_T-style cvar/pvar introspection."""
+
+import pytest
+
+from repro.mpi.mpit import PvarSession, list_cvars, read_cvar
+from tests.conftest import make_world
+
+
+def run_traffic(sched, world, n=20):
+    def sender(env):
+        for i in range(n):
+            yield from env.send(world.comm_world, dst=1, tag=0, payload=i)
+
+    def receiver(env):
+        for _ in range(n):
+            yield from env.recv(world.comm_world, src=0, tag=0)
+
+    sched.spawn(sender(world.env(0)))
+    sched.spawn(receiver(world.env(1)))
+    sched.run()
+
+
+class TestCvars:
+    def test_list_includes_config_and_costs(self, sched, world):
+        names = {v.name for v in list_cvars(world)}
+        assert "threading.num_instances" in names
+        assert "costs.eager_limit_bytes" in names
+        assert all(v.kind == "cvar" for v in list_cvars(world))
+
+    def test_read(self, sched, world):
+        assert read_cvar(world, "threading.num_instances") == 2
+        assert read_cvar(world, "costs.host_gap_ns") == world.costs.host_gap_ns
+
+    def test_read_unknown(self, sched, world):
+        with pytest.raises(KeyError):
+            read_cvar(world, "threading.banana")
+        with pytest.raises(KeyError):
+            read_cvar(world, "flat_name")
+
+
+class TestPvars:
+    def test_list_includes_paper_counters(self, sched, world):
+        names = {v.name for v in PvarSession(world).list_pvars()}
+        assert {"out_of_sequence", "match_time_ns", "messages_sent",
+                "out_of_sequence_fraction", "match_time_ms"} <= names
+
+    def test_read_aggregated_and_per_rank(self, sched, world):
+        run_traffic(sched, world)
+        session = PvarSession(world)
+        assert session.read("messages_sent") == 20
+        assert session.read("messages_sent", rank=0) == 20
+        assert session.read("messages_sent", rank=1) == 0
+        assert session.read("messages_received", rank=1) == 20
+
+    def test_read_unknown(self, sched, world):
+        with pytest.raises(KeyError):
+            PvarSession(world).read("imaginary_counter")
+
+    def test_snapshot_and_diff(self, sched, world):
+        session = PvarSession(world)
+        before = session.snapshot()
+        run_traffic(sched, world, n=12)
+        after = session.snapshot()
+        delta = session.diff(before, after)
+        assert delta["messages_sent"] == 12
+        assert delta["messages_received"] == 12
+
+    def test_reset(self, sched, world):
+        run_traffic(sched, world)
+        session = PvarSession(world)
+        session.reset(rank=0)
+        assert session.read("messages_sent", rank=0) == 0
+        assert session.read("messages_received", rank=1) == 20
+        session.reset()
+        assert session.read("messages_received") == 0

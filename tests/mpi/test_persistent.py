@@ -1,0 +1,95 @@
+"""Persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start)."""
+
+import pytest
+
+from repro.mpi import MpiError
+from repro.mpi.request import PersistentRequest
+
+
+def test_create_inactive(sched, world):
+    env = world.env(0)
+    preq = env.send_init(world.comm_world, dst=1, tag=3, payload="x")
+    assert not preq.active
+    assert preq.completed  # inactive behaves as completed
+    assert preq.starts == 0
+
+
+def test_kind_validation():
+    with pytest.raises(ValueError):
+        PersistentRequest("bcast", {})
+
+
+def test_repeated_start_wait_cycles(sched, world):
+    ROUNDS = 5
+
+    def sender(env):
+        preq = env.send_init(world.comm_world, dst=1, tag=3, payload="ping")
+        for _ in range(ROUNDS):
+            yield from env.start(preq)
+            yield from env.wait(preq)
+        return preq.starts
+
+    def receiver(env):
+        preq = env.recv_init(world.comm_world, src=0, tag=3)
+        got = []
+        for _ in range(ROUNDS):
+            yield from env.start(preq)
+            yield from env.wait(preq)
+            got.append(preq.data)
+            assert not preq.active  # wait deactivated it
+        return got
+
+    s = sched.spawn(sender(world.env(0)))
+    r = sched.spawn(receiver(world.env(1)))
+    sched.run()
+    assert s.result == ROUNDS
+    assert r.result == ["ping"] * ROUNDS
+
+
+def test_double_start_rejected(sched, world):
+    def sender_consume(env):
+        yield from env.recv(world.comm_world, src=0, tag=0)
+
+    def body(env):
+        preq = env.send_init(world.comm_world, dst=1, tag=0)
+        yield from env.start(preq)
+        yield from env.start(preq)
+
+    sched.spawn(body(world.env(0)))
+    sched.spawn(sender_consume(world.env(1)))
+    with pytest.raises(MpiError, match="already active"):
+        sched.run()
+
+
+def test_startall(sched, world):
+    N = 4
+
+    def sender(env):
+        preqs = [env.send_init(world.comm_world, dst=1, tag=t, payload=t)
+                 for t in range(N)]
+        yield from env.startall(preqs)
+        yield from env.waitall(preqs)
+        return all(not p.active for p in preqs)
+
+    def receiver(env):
+        got = []
+        for t in range(N):
+            data, _ = yield from env.recv(world.comm_world, src=0, tag=t)
+            got.append(data)
+        return got
+
+    s = sched.spawn(sender(world.env(0)))
+    r = sched.spawn(receiver(world.env(1)))
+    sched.run()
+    assert s.result is True
+    assert sorted(r.result) == list(range(N))
+
+
+def test_persistent_validation_at_init(sched, world):
+    env = world.env(0)
+    from repro.mpi import RankError, TagError
+
+    with pytest.raises(TagError):
+        env.send_init(world.comm_world, dst=1, tag=-2)
+    with pytest.raises(RankError):
+        env.recv_init(world.comm_world, src=42)

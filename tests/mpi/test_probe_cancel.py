@@ -1,0 +1,232 @@
+"""Probe, matched probe, cancel, sendrecv, waitany/waitsome/testall."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiError
+from repro.simthread import Delay
+from tests.conftest import make_world
+
+
+class TestProbe:
+    def test_iprobe_miss_returns_none(self, sched, world):
+        def body(env):
+            status = yield from env.iprobe(world.comm_world, src=0, tag=1)
+            return status
+
+        t = sched.spawn(body(world.env(1)))
+        sched.run()
+        assert t.result is None
+
+    def test_probe_blocks_until_message(self, sched, world):
+        def sender(env):
+            yield Delay(50_000)
+            yield from env.send(world.comm_world, dst=1, tag=4, nbytes=32)
+
+        def prober(env):
+            status = yield from env.probe(world.comm_world, src=0, tag=4)
+            # Probing must not consume: the recv still succeeds.
+            data, status2 = yield from env.recv(world.comm_world, src=0, tag=4)
+            return status, status2
+
+        sched.spawn(sender(world.env(0)))
+        t = sched.spawn(prober(world.env(1)))
+        sched.run()
+        status, status2 = t.result
+        assert status.nbytes == 32 and status.tag == 4
+        assert status2.nbytes == 32
+
+    def test_iprobe_respects_wildcards(self, sched, world):
+        def sender(env):
+            yield from env.send(world.comm_world, dst=1, tag=9, payload="x")
+
+        def prober(env):
+            yield Delay(100_000)
+            hit = yield from env.iprobe(world.comm_world, src=ANY_SOURCE, tag=ANY_TAG)
+            miss = yield from env.iprobe(world.comm_world, src=0, tag=3)
+            yield from env.recv(world.comm_world, src=0, tag=9)
+            return hit, miss
+
+        sched.spawn(sender(world.env(0)))
+        t = sched.spawn(prober(world.env(1)))
+        sched.run()
+        hit, miss = t.result
+        assert hit is not None and hit.tag == 9
+        assert miss is None
+
+    def test_improbe_extracts_exclusively(self, sched, world):
+        def sender(env):
+            yield from env.send(world.comm_world, dst=1, tag=2, payload="claimed")
+
+        def receiver(env):
+            yield Delay(100_000)
+            msg = yield from env.improbe(world.comm_world, src=0, tag=2)
+            assert msg is not None
+            # After improbe, a plain iprobe cannot see it anymore.
+            ghost = yield from env.iprobe(world.comm_world, src=0, tag=2)
+            data, status = yield from env.mrecv(msg)
+            return ghost, data, status.tag
+
+        sched.spawn(sender(world.env(0)))
+        t = sched.spawn(receiver(world.env(1)))
+        sched.run()
+        ghost, data, tag = t.result
+        assert ghost is None
+        assert data == "claimed" and tag == 2
+
+    def test_mrecv_works_for_rendezvous_messages(self, sched, world):
+        def sender(env):
+            yield from env.send(world.comm_world, dst=1, tag=1, nbytes=50_000,
+                                payload="bulk")
+
+        def receiver(env):
+            msg = None
+            while msg is None:
+                msg = yield from env.improbe(world.comm_world, src=0, tag=1)
+                if msg is None:
+                    yield Delay(5_000)
+            data, status = yield from env.mrecv(msg, nbytes=50_000)
+            return data, status.nbytes
+
+        sched.spawn(sender(world.env(0)))
+        t = sched.spawn(receiver(world.env(1)))
+        sched.run()
+        assert t.result == ("bulk", 50_000)
+
+    def test_mrecv_requires_handle(self, sched, world):
+        def body(env):
+            yield from env.mrecv(None)
+
+        sched.spawn(body(world.env(0)))
+        with pytest.raises(MpiError):
+            sched.run()
+
+
+class TestCancel:
+    def test_cancel_pending_recv(self, sched, world):
+        def body(env):
+            req = yield from env.irecv(world.comm_world, src=0, tag=5)
+            ok = yield from env.cancel(req)
+            return ok, req.cancelled, req.completed
+
+        t = sched.spawn(body(world.env(1)))
+        sched.run()
+        assert t.result == (True, True, True)
+
+    def test_cancel_after_completion_fails(self, sched, world):
+        def sender(env):
+            yield from env.send(world.comm_world, dst=1, tag=5)
+
+        def receiver(env):
+            req = yield from env.irecv(world.comm_world, src=0, tag=5)
+            yield from env.wait(req)
+            ok = yield from env.cancel(req)
+            return ok
+
+        sched.spawn(sender(world.env(0)))
+        t = sched.spawn(receiver(world.env(1)))
+        sched.run()
+        assert t.result is False
+
+    def test_cancelled_recv_does_not_steal_messages(self, sched, world):
+        def sender(env):
+            yield Delay(200_000)
+            yield from env.send(world.comm_world, dst=1, tag=5, payload="keep")
+
+        def receiver(env):
+            doomed = yield from env.irecv(world.comm_world, src=0, tag=5)
+            yield from env.cancel(doomed)
+            data, _ = yield from env.recv(world.comm_world, src=0, tag=5)
+            return data
+
+        sched.spawn(sender(world.env(0)))
+        t = sched.spawn(receiver(world.env(1)))
+        sched.run()
+        assert t.result == "keep"
+
+    def test_cancel_send_rejected(self, sched, world):
+        def body(env):
+            req = yield from env.isend(world.comm_world, dst=1, tag=0)
+            yield from env.cancel(req)
+
+        sched.spawn(body(world.env(0)))
+        with pytest.raises(MpiError, match="receive requests"):
+            sched.run()
+
+
+class TestSendrecvAndWaitVariants:
+    def test_sendrecv_head_to_head_no_deadlock(self, sched, world):
+        def node(env, peer):
+            data, status = yield from env.sendrecv(
+                world.comm_world, dst=peer, sendtag=1, src=peer, recvtag=1,
+                send_payload=f"from-{env.rank}")
+            return data
+
+        a = sched.spawn(node(world.env(0), 1))
+        b = sched.spawn(node(world.env(1), 0))
+        sched.run()
+        assert a.result == "from-1"
+        assert b.result == "from-0"
+
+    def test_waitany_returns_a_completed_index(self, sched, world):
+        def sender(env):
+            yield Delay(30_000)
+            yield from env.send(world.comm_world, dst=1, tag=7, payload="late")
+
+        def receiver(env):
+            never = yield from env.irecv(world.comm_world, src=0, tag=999)
+            soon = yield from env.irecv(world.comm_world, src=0, tag=7)
+            idx = yield from env.waitany([never, soon])
+            yield from env.cancel(never)
+            return idx
+
+        sched.spawn(sender(world.env(0)))
+        t = sched.spawn(receiver(world.env(1)))
+        sched.run()
+        assert t.result == 1
+
+    def test_waitany_empty_rejected(self, sched, world):
+        def body(env):
+            yield from env.waitany([])
+
+        sched.spawn(body(world.env(0)))
+        with pytest.raises(ValueError):
+            sched.run()
+
+    def test_waitsome_returns_all_completed(self, sched, world):
+        def sender(env):
+            for tag in (1, 2):
+                yield from env.isend(world.comm_world, dst=1, tag=tag)
+
+        def receiver(env):
+            reqs = []
+            for tag in (1, 2, 3):
+                reqs.append((yield from env.irecv(world.comm_world, src=0, tag=tag)))
+            yield Delay(200_000)
+            done = yield from env.waitsome(reqs)
+            yield from env.cancel(reqs[2])
+            return done
+
+        sched.spawn(sender(world.env(0)))
+        t = sched.spawn(receiver(world.env(1)))
+        sched.run()
+        assert set(t.result) == {0, 1}
+
+    def test_testall_testany(self, sched, world):
+        def sender(env):
+            yield from env.send(world.comm_world, dst=1, tag=1)
+
+        def receiver(env):
+            done_req = yield from env.irecv(world.comm_world, src=0, tag=1)
+            pending = yield from env.irecv(world.comm_world, src=0, tag=2)
+            yield Delay(200_000)
+            all_done = yield from env.testall([done_req, pending])
+            some = yield from env.testany([done_req, pending])
+            yield from env.cancel(pending)
+            return all_done, some
+
+        sched.spawn(sender(world.env(0)))
+        t = sched.spawn(receiver(world.env(1)))
+        sched.run()
+        all_done, some = t.result
+        assert all_done is False
+        assert some == 0

@@ -1,0 +1,222 @@
+"""One-sided communication: puts/gets/accumulates, epochs, flush, fence."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import EpochError, RankError
+from tests.conftest import make_world
+
+
+def run_one(sched, world, body, rank=0):
+    t = sched.spawn(body(world.env(rank)))
+    sched.run()
+    return t
+
+
+def test_put_writes_target_memory(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 64)
+
+    def body(env):
+        yield from env.win_lock(win, target=1)
+        yield from env.put(win, target=1, nbytes=8, target_offset=8, data=b"12345678")
+        yield from env.win_unlock(win, target=1)
+
+    run_one(sched, world, body)
+    assert bytes(win.buffer(1)[8:16]) == b"12345678"
+    assert bytes(win.buffer(1)[:8]) == b"\x00" * 8
+
+
+def test_put_without_epoch_rejected(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 16)
+
+    def body(env):
+        yield from env.put(win, target=1, nbytes=4)
+
+    sched.spawn(body(world.env(0)))
+    with pytest.raises(EpochError):
+        sched.run()
+
+
+def test_get_reads_target_memory(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 32)
+    win.buffer(1)[:4] = np.frombuffer(b"DATA", dtype=np.uint8)
+
+    def body(env):
+        yield from env.win_lock_all(win)
+        op = yield from env.get(win, target=1, nbytes=4)
+        yield from env.flush(win)
+        yield from env.win_unlock_all(win)
+        return op.result
+
+    t = run_one(sched, world, body)
+    assert t.result == b"DATA"
+
+
+def test_accumulate_sum_and_replace(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 64)
+
+    def body(env):
+        yield from env.win_lock_all(win)
+        yield from env.accumulate(win, 1, np.array([10, 20], dtype=np.int64))
+        yield from env.accumulate(win, 1, np.array([1, 2], dtype=np.int64))
+        yield from env.flush(win)
+        yield from env.win_unlock_all(win)
+
+    run_one(sched, world, body)
+    assert list(win.buffer(1)[:16].view(np.int64)) == [11, 22]
+
+
+def test_accumulate_max_min(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 64)
+    win.buffer(1)[:8].view(np.int64)[0] = 50
+
+    def body(env):
+        from repro.mpi.rma import ops
+        yield from env.win_lock_all(win)
+        yield from env.accumulate(win, 1, np.array([10], dtype=np.int64), op=ops.MAX_OP)
+        yield from env.flush(win)
+        yield from env.accumulate(win, 1, np.array([7], dtype=np.int64), op=ops.MIN_OP)
+        yield from env.win_unlock_all(win)
+
+    run_one(sched, world, body)
+    assert win.buffer(1)[:8].view(np.int64)[0] == 7
+
+
+def test_flush_waits_for_all_outstanding(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 8)
+
+    def body(env):
+        yield from env.win_lock_all(win)
+        for _ in range(30):
+            yield from env.put(win, target=1, nbytes=4)
+        assert win.outstanding(0) > 0
+        yield from env.flush(win)
+        assert win.outstanding(0) == 0
+        yield from env.win_unlock_all(win)
+
+    run_one(sched, world, body)
+
+
+def test_flush_specific_target(sched):
+    world = make_world(sched, nprocs=3)
+    win = world.env(0).win_allocate(world.comm_world, 8)
+
+    def body(env):
+        yield from env.win_lock_all(win)
+        yield from env.put(win, target=1, nbytes=4)
+        yield from env.put(win, target=2, nbytes=4)
+        yield from env.flush(win, target=1)
+        assert win.outstanding(0, target=1) == 0
+        yield from env.flush_all(win)
+        yield from env.win_unlock_all(win)
+
+    run_one(sched, world, body)
+
+
+def test_epoch_errors(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 8)
+
+    def double_lock(env):
+        yield from env.win_lock(win, target=1)
+        yield from env.win_lock(win, target=1)
+
+    sched.spawn(double_lock(world.env(0)))
+    with pytest.raises(EpochError, match="already holds"):
+        sched.run()
+
+    sched2 = type(sched)(seed=1)
+    world2 = make_world(sched2)
+    win2 = world2.env(0).win_allocate(world2.comm_world, 8)
+
+    def unlock_without_lock(env):
+        yield from env.win_unlock(win2, target=1)
+
+    sched2.spawn(unlock_without_lock(world2.env(0)))
+    with pytest.raises(EpochError, match="no open epoch"):
+        sched2.run()
+
+
+def test_out_of_range_access_rejected(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 16)
+
+    def body(env):
+        yield from env.win_lock_all(win)
+        yield from env.put(win, target=1, nbytes=32)
+
+    sched.spawn(body(world.env(0)))
+    with pytest.raises(ValueError, match="outside window"):
+        sched.run()
+
+
+def test_put_target_must_be_member(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 8)
+
+    def body(env):
+        yield from env.win_lock_all(win)
+        yield from env.put(win, target=9, nbytes=1)
+
+    sched.spawn(body(world.env(0)))
+    with pytest.raises(RankError):
+        sched.run()
+
+
+def test_put_data_length_must_match(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 8)
+
+    def body(env):
+        yield from env.win_lock_all(win)
+        yield from env.put(win, target=1, nbytes=4, data=b"toolong")
+
+    sched.spawn(body(world.env(0)))
+    with pytest.raises(ValueError, match="bytes"):
+        sched.run()
+
+
+def test_fence_synchronizes_both_sides(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 16)
+    observed = {}
+
+    def origin(env):
+        yield from env.fence(win)
+        yield from env.put(win, target=1, nbytes=4, data=b"SYNC")
+        yield from env.fence(win)
+
+    def target(env):
+        yield from env.fence(win)
+        yield from env.fence(win)
+        observed["bytes"] = bytes(win.buffer(1)[:4])
+
+    sched.spawn(origin(world.env(0)))
+    sched.spawn(target(world.env(1)))
+    sched.run()
+    assert observed["bytes"] == b"SYNC"
+
+
+def test_win_sync_is_cheap_noop(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 8)
+
+    def body(env):
+        yield from env.win_sync(win)
+
+    run_one(sched, world, body)
+
+
+def test_rma_spc_counters(sched, world):
+    win = world.env(0).win_allocate(world.comm_world, 8)
+
+    def body(env):
+        yield from env.win_lock_all(win)
+        for _ in range(5):
+            yield from env.put(win, target=1, nbytes=4)
+        yield from env.flush(win)
+        yield from env.win_unlock_all(win)
+
+    run_one(sched, world, body)
+    spc = world.processes[0].spc
+    assert spc.rma_ops == 5
+    assert spc.rma_flushes == 2  # explicit flush + unlock_all's flush
+
+
+def test_negative_window_size_rejected(sched, world):
+    with pytest.raises(ValueError):
+        world.env(0).win_allocate(world.comm_world, -1)

@@ -1,0 +1,93 @@
+"""Fabric parameters, NIC pipeline, context limits."""
+
+import pytest
+
+from repro.netsim import ARIES, Fabric, FabricParams, IB_EDR
+from repro.netsim.nic import ContextLimitError
+from repro.simthread import Scheduler
+
+
+def test_peak_message_rate_small_messages_pipeline_limited():
+    p = FabricParams(pipeline_gap_ns=30, per_byte_ns=0.08)
+    assert p.peak_message_rate(0) == pytest.approx(1e9 / 30)
+    assert p.peak_message_rate(1) == pytest.approx(1e9 / 30)
+
+
+def test_peak_message_rate_large_messages_bandwidth_limited():
+    p = FabricParams(pipeline_gap_ns=30, per_byte_ns=0.08)
+    assert p.peak_message_rate(16384) == pytest.approx(1e9 / (16384 * 0.08))
+
+
+def test_with_overrides():
+    p = IB_EDR.with_overrides(wire_latency_ns=5)
+    assert p.wire_latency_ns == 5
+    assert p.name == IB_EDR.name
+
+
+def test_wire_delay_jitter_bounds():
+    sched = Scheduler(seed=3)
+    fab = Fabric(sched, FabricParams(wire_latency_ns=1000, wire_jitter_ns=200))
+    delays = [fab.wire_delay() for _ in range(300)]
+    assert all(1000 <= d < 1200 for d in delays)
+    assert len(set(delays)) > 20
+
+
+def test_wire_delay_without_jitter_is_constant():
+    sched = Scheduler(seed=3)
+    fab = Fabric(sched, FabricParams(wire_latency_ns=700, wire_jitter_ns=0))
+    assert {fab.wire_delay() for _ in range(10)} == {700}
+
+
+def test_aries_context_limit_enforced():
+    sched = Scheduler()
+    fab = Fabric(sched, ARIES.with_overrides(max_contexts=3))
+    nic = fab.create_nic()
+    for _ in range(3):
+        nic.create_context()
+    with pytest.raises(ContextLimitError):
+        nic.create_context()
+
+
+def test_ib_has_no_context_limit():
+    sched = Scheduler()
+    nic = Fabric(sched, IB_EDR).create_nic()
+    for _ in range(200):
+        nic.create_context()
+    assert len(nic.contexts) == 200
+
+
+def test_injection_window_serializes_one_context():
+    sched = Scheduler(jitter=0.0)
+    fab = Fabric(sched, FabricParams(inject_overhead_ns=100, pipeline_gap_ns=10,
+                                     per_byte_ns=0.0))
+    nic = fab.create_nic()
+    ctx = nic.create_context()
+    s1, d1 = nic.injection_window(ctx, 0)
+    s2, d2 = nic.injection_window(ctx, 0)
+    assert (s1, d1) == (0, 100)
+    assert s2 == 100 and d2 == 200  # same context: injection queue serialized
+
+
+def test_pipeline_gap_serializes_across_contexts():
+    sched = Scheduler(jitter=0.0)
+    fab = Fabric(sched, FabricParams(inject_overhead_ns=100, pipeline_gap_ns=40,
+                                     per_byte_ns=0.0))
+    nic = fab.create_nic()
+    a, b = nic.create_context(), nic.create_context()
+    s1, _ = nic.injection_window(a, 0)
+    s2, _ = nic.injection_window(b, 0)
+    assert s1 == 0 and s2 == 40  # different contexts still pay the NIC gap
+
+
+def test_link_bandwidth_serializes_across_contexts():
+    sched = Scheduler(jitter=0.0)
+    fab = Fabric(sched, FabricParams(inject_overhead_ns=0, pipeline_gap_ns=10,
+                                     per_byte_ns=1.0))
+    nic = fab.create_nic()
+    a, b = nic.create_context(), nic.create_context()
+    nic.injection_window(a, 1000)   # 1000 ns of wire serialization
+    s2, _ = nic.injection_window(b, 1000)
+    assert s2 == 1000  # the link is one pipe
+
+    assert nic.messages_injected == 2
+    assert nic.bytes_injected == 2000

@@ -1,0 +1,219 @@
+"""SimLock semantics: mutual exclusion, try-lock, fairness, cost model."""
+
+import pytest
+
+from repro.simthread import Delay, LockCosts, Scheduler, SimLock, SimThreadError
+
+
+def test_mutual_exclusion_invariant():
+    sched = Scheduler(seed=5)
+    lock = SimLock(sched)
+    inside = [0]
+    max_inside = [0]
+
+    def worker():
+        for _ in range(10):
+            yield from lock.acquire()
+            inside[0] += 1
+            max_inside[0] = max(max_inside[0], inside[0])
+            yield Delay(50)
+            inside[0] -= 1
+            yield from lock.release()
+
+    for _ in range(6):
+        sched.spawn(worker())
+    sched.run()
+    assert max_inside[0] == 1
+    assert lock.acquisitions == 60
+    assert not lock.locked
+
+
+def test_uncontended_acquire_cost():
+    sched = Scheduler(jitter=0.0)
+    lock = SimLock(sched, LockCosts(acquire_ns=40, release_ns=10))
+
+    def body():
+        yield from lock.acquire()
+        yield from lock.release()
+
+    sched.spawn(body())
+    assert sched.run() == 50
+    assert lock.contended_acquisitions == 0
+
+
+def test_contended_acquire_costs_more():
+    sched = Scheduler(jitter=0.0)
+    costs = LockCosts(acquire_ns=10, contended_ns=500, release_ns=10)
+    lock = SimLock(sched, costs)
+    times = []
+
+    def holder():
+        yield from lock.acquire()
+        yield Delay(100)
+        yield from lock.release()
+
+    def waiter():
+        yield Delay(5)
+        yield from lock.acquire()
+        times.append(sched.now)
+        yield from lock.release()
+
+    sched.spawn(holder())
+    sched.spawn(waiter())
+    sched.run()
+    # waiter granted at t=110 (holder releases), pays contended_ns
+    assert times == [610]
+    assert lock.contended_acquisitions == 1
+
+
+def test_convoy_cost_scales_with_queue_depth():
+    def total_time(nthreads):
+        sched = Scheduler(jitter=0.0, seed=3)
+        lock = SimLock(sched, LockCosts(acquire_ns=0, contended_ns=100,
+                                        release_ns=0,
+                                        contended_per_waiter_ns=1000))
+
+        def worker():
+            yield from lock.acquire()
+            yield Delay(10)
+            yield from lock.release()
+
+        for _ in range(nthreads):
+            sched.spawn(worker())
+        return sched.run()
+
+    # With deeper queues each handoff pays more; growth is superlinear.
+    t2, t8 = total_time(2), total_time(8)
+    assert t8 > 4 * t2
+
+
+def test_try_acquire_success_and_failure():
+    sched = Scheduler(jitter=0.0)
+    lock = SimLock(sched, LockCosts(acquire_ns=10, tryfail_ns=77))
+    outcomes = []
+
+    def first():
+        ok = yield from lock.try_acquire()
+        outcomes.append(ok)
+        yield Delay(200)
+        yield from lock.release()
+
+    def second():
+        yield Delay(50)
+        ok = yield from lock.try_acquire()
+        outcomes.append(ok)
+
+    sched.spawn(first())
+    sched.spawn(second())
+    sched.run()
+    assert outcomes == [True, False]
+    assert lock.tryfails == 1
+
+
+def test_try_acquire_never_blocks():
+    sched = Scheduler(jitter=0.0)
+    lock = SimLock(sched)
+
+    def holder():
+        yield from lock.acquire()
+        yield Delay(10_000)
+        yield from lock.release()
+
+    def spinner():
+        fails = 0
+        while True:
+            ok = yield from lock.try_acquire()
+            if ok:
+                yield from lock.release()
+                return fails
+            fails += 1
+            yield Delay(1000)
+
+    sched.spawn(holder())
+    t = sched.spawn(spinner())
+    sched.run()
+    assert t.result >= 5  # spun several times instead of blocking
+
+
+def test_unfair_lock_produces_grant_inversions():
+    sched = Scheduler(seed=11)
+    lock = SimLock(sched, fairness="unfair")
+    order = []
+
+    def worker(i):
+        yield Delay(i)  # stagger arrival so the queue order is 0..n
+        yield from lock.acquire()
+        order.append(i)
+        yield Delay(500)
+        yield from lock.release()
+
+    for i in range(10):
+        sched.spawn(worker(i))
+    sched.run()
+    assert sorted(order) == list(range(10))
+    assert order != list(range(10))  # some inversion happened
+
+
+def test_fair_lock_grants_fifo():
+    sched = Scheduler(seed=11, jitter=0.0)
+    lock = SimLock(sched, fairness="fair")
+    order = []
+
+    def worker(i):
+        yield Delay(i)
+        yield from lock.acquire()
+        order.append(i)
+        yield Delay(500)
+        yield from lock.release()
+
+    for i in range(10):
+        sched.spawn(worker(i))
+    sched.run()
+    assert order == list(range(10))
+
+
+def test_invalid_fairness_rejected():
+    sched = Scheduler()
+    with pytest.raises(ValueError):
+        SimLock(sched, fairness="chaotic")
+
+
+def test_release_by_non_owner_is_an_error():
+    sched = Scheduler()
+    lock = SimLock(sched)
+
+    def thief():
+        yield from lock.release()
+
+    sched.spawn(thief())
+    with pytest.raises(SimThreadError, match="non-owner"):
+        sched.run()
+
+
+def test_migration_cost_charged_on_owner_change():
+    sched = Scheduler(jitter=0.0)
+    lock = SimLock(sched, LockCosts(acquire_ns=10, release_ns=0, migration_ns=1000))
+
+    def worker():
+        yield from lock.acquire()
+        yield from lock.release()
+        yield from lock.acquire()   # same owner again: no migration
+        yield from lock.release()
+
+    def other():
+        yield Delay(100)
+        yield from lock.acquire()   # different owner: migration
+        yield from lock.release()
+
+    sched.spawn(worker())
+    sched.spawn(other())
+    sched.run()
+    assert lock.migrations == 1
+
+
+def test_lock_costs_scaled():
+    c = LockCosts(acquire_ns=100, contended_ns=200, release_ns=50,
+                  tryfail_ns=10, migration_ns=1000, contended_per_waiter_ns=40)
+    s = c.scaled(2.0)
+    assert (s.acquire_ns, s.contended_ns, s.release_ns) == (200, 400, 100)
+    assert (s.tryfail_ns, s.migration_ns, s.contended_per_waiter_ns) == (20, 2000, 80)

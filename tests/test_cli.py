@@ -1,0 +1,42 @@
+"""CLI behaviour (in-process; subprocess start-up is covered by examples)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("table1", "fig3a", "fig5", "fig7", "ext-msgsize"):
+        assert exp_id in out
+
+
+def test_testbeds(capsys):
+    assert main(["testbeds"]) == 0
+    out = capsys.readouterr().out
+    assert "alembert" in out and "trinitite-knl" in out
+    assert "Cray Aries" in out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    assert "Testbeds configuration" in capsys.readouterr().out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_with_output_dir(tmp_path, capsys, monkeypatch):
+    import repro.experiments.figure3 as f3
+    monkeypatch.setattr(f3, "QUICK_PAIRS", (1,))
+    assert main(["run", "fig3a", "--out", str(tmp_path)]) == 0
+    assert (tmp_path / "fig3a.txt").exists()
+    assert (tmp_path / "fig3a.csv").read_text().startswith("fig,series,x,mean,std")
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

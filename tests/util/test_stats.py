@@ -1,0 +1,39 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.util.stats import geometric_mean, mean, pstdev, ratio, summarize
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2.0
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_pstdev():
+    assert pstdev([5]) == 0.0
+    assert math.isclose(pstdev([2, 4]), 1.0)
+    with pytest.raises(ValueError):
+        pstdev([])
+
+
+def test_summarize():
+    m, s = summarize([10, 10, 10])
+    assert (m, s) == (10.0, 0.0)
+
+
+def test_geometric_mean():
+    assert math.isclose(geometric_mean([1, 100]), 10.0)
+    with pytest.raises(ValueError):
+        geometric_mean([1, 0])
+    with pytest.raises(ValueError):
+        geometric_mean([])
+
+
+def test_ratio():
+    assert ratio(10, 4) == 2.5
+    with pytest.raises(ValueError):
+        ratio(1, 0)

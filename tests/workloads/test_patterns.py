@@ -1,0 +1,42 @@
+"""Entity binding modes (paper Figure 2)."""
+
+import pytest
+
+from repro.workloads.patterns import ENTITY_MODES, pair_bindings, world_shape
+
+
+def test_threads_mode_two_processes():
+    nprocs, placement = world_shape("threads", 6)
+    assert nprocs == 2 and placement == [0, 1]
+    bindings = pair_bindings("threads", 6)
+    assert all(b.send_rank == 0 and b.recv_rank == 1 for b in bindings)
+    assert sorted(b.tag for b in bindings) == list(range(6))  # distinct tags
+
+
+def test_processes_mode_one_process_per_entity():
+    nprocs, placement = world_shape("processes", 3)
+    assert nprocs == 6
+    assert placement == [0, 0, 0, 1, 1, 1]
+    bindings = pair_bindings("processes", 3)
+    assert [(b.send_rank, b.recv_rank) for b in bindings] == [(0, 3), (1, 4), (2, 5)]
+    assert all(b.tag == 0 for b in bindings)  # own processes: tags can collide
+
+
+def test_hybrid_mode_threads_to_processes():
+    nprocs, placement = world_shape("hybrid", 4)
+    assert nprocs == 5
+    assert placement == [0, 1, 1, 1, 1]
+    bindings = pair_bindings("hybrid", 4)
+    assert all(b.send_rank == 0 for b in bindings)
+    assert [b.recv_rank for b in bindings] == [1, 2, 3, 4]
+
+
+def test_invalid_mode_and_pairs():
+    with pytest.raises(ValueError):
+        world_shape("fibers", 2)
+    with pytest.raises(ValueError):
+        world_shape("threads", 0)
+
+
+def test_all_modes_enumerated():
+    assert set(ENTITY_MODES) == {"threads", "processes", "hybrid"}
