@@ -7,6 +7,14 @@ Examples::
     python -m repro run fig3a
     python -m repro run fig6 --full --out results/
     python -m repro run all --out results/
+    python -m repro run fig3b --metrics-interval 100000 --out results/
+    python -m repro trace fig3a --out trace.json
+
+``trace`` records one representative simulation of the experiment with
+the virtual-time tracer attached and writes Chrome trace-event JSON --
+open it at https://ui.perfetto.dev (or ``chrome://tracing``) to see one
+track per simulated thread plus one per lock/CRI/queue.  Traces are
+byte-identical across runs with the same seed.
 """
 
 from __future__ import annotations
@@ -14,6 +22,14 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+
+
+def _interval(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"interval must be a positive number of nanoseconds, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,6 +47,25 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="paper-density parameters (slow)")
     run.add_argument("--out", type=pathlib.Path, default=None,
                      help="also save ASCII + CSV under this directory")
+    run.add_argument("--metrics-interval", type=_interval, default=None, metavar="NS",
+                     help="also sample the SPC time-series every NS of virtual "
+                          "time on a representative run of the experiment; "
+                          "writes <exp>.metrics.csv under --out (or prints a "
+                          "summary)")
+
+    trace = sub.add_parser(
+        "trace", help="trace one representative run (Perfetto/Chrome JSON)")
+    trace.add_argument("experiment", help="a traceable experiment id")
+    trace.add_argument("--out", type=pathlib.Path,
+                       default=pathlib.Path("trace.json"),
+                       help="output path for the trace JSON (default trace.json)")
+    trace.add_argument("--seed", type=int, default=1,
+                       help="simulation seed (same seed => byte-identical trace)")
+    trace.add_argument("--metrics-interval", type=_interval, default=None, metavar="NS",
+                       help="also emit the SPC time-series sampled every NS of "
+                            "virtual time to <out>.metrics.csv")
+    trace.add_argument("--top", type=int, default=12,
+                       help="rows in the printed top-N report")
     return parser
 
 
@@ -47,6 +82,52 @@ def _emit(result, out_dir) -> None:
         print()
         if out_dir is not None:
             _save(fig, out_dir)
+
+
+def _emit_metrics(exp_id: str, interval_ns: int, out_dir) -> None:
+    """Time-series CSV for one experiment's representative run."""
+    from repro.obs.scenarios import traced_run
+
+    try:
+        run = traced_run(exp_id, metrics_interval_ns=interval_ns, trace=False)
+    except KeyError:
+        print(f"({exp_id}: no representative scenario; metrics skipped)")
+        return
+    csv = run.metrics.to_csv()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"{exp_id}.metrics.csv"
+        path.write_text(csv)
+        print(f"metrics time-series: {path} ({len(run.metrics.rows)} samples)")
+    else:
+        print(f"metrics time-series ({len(run.metrics.rows)} samples, "
+              f"every {interval_ns} ns):")
+        lines = csv.splitlines()
+        for line in lines[:2] + (["..."] if len(lines) > 3 else []) + lines[-1:]:
+            print(f"  {line}")
+    print(f"queue depths: {run.metrics.depth_summary()}")
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.export import save_trace, top_report
+    from repro.obs.scenarios import traced_run
+
+    try:
+        run = traced_run(args.experiment, seed=args.seed,
+                         metrics_interval_ns=args.metrics_interval)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    path = save_trace(run.tracer, args.out)
+    print(f"trace: {path} ({len(run.tracer.spans)} spans, "
+          f"{run.elapsed_ns} ns virtual) -- open in https://ui.perfetto.dev")
+    if run.metrics is not None:
+        mpath = path.with_suffix(".metrics.csv")
+        mpath.write_text(run.metrics.to_csv())
+        print(f"metrics time-series: {mpath} ({len(run.metrics.rows)} samples)")
+    print()
+    print(top_report(run.tracer, n=args.top))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -67,12 +148,17 @@ def main(argv=None) -> int:
                 print(f"  {key:<14} {value}")
         return 0
 
+    if args.command == "trace":
+        return _cmd_trace(args)
+
     # run
     quick = not args.full
     if args.experiment == "all":
         for exp_id in EXPERIMENTS:
             print(f"--- running {exp_id} ---")
             _emit(run_experiment(exp_id, quick=quick), args.out)
+            if args.metrics_interval is not None:
+                _emit_metrics(exp_id, args.metrics_interval, args.out)
         return 0
     try:
         result = run_experiment(args.experiment, quick=quick)
@@ -80,4 +166,6 @@ def main(argv=None) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     _emit(result, args.out)
+    if args.metrics_interval is not None:
+        _emit_metrics(args.experiment, args.metrics_interval, args.out)
     return 0

@@ -95,10 +95,19 @@ class SerialProgress(_ProgressBase):
     def progress(self):
         """Generator: one progress-engine call; returns completion count."""
         self.calls += 1
+        trc = self.sched.tracer
+        traced = trc.enabled
         ok = yield from self.global_lock.try_acquire()
         if not ok:
             self.denied += 1
+            if traced:
+                trc.instant(trc.thread_track(self.sched.current),
+                            "progress.denied", "progress",
+                            {"lock": self.global_lock.name})
             return 0
+        if traced:
+            tid = trc.thread_track(self.sched.current)
+            trc.begin(tid, "progress.sweep", "progress")
         total = 0
         for cri in self.pool.instances:
             r = yield from self._progress_instance(cri)
@@ -107,6 +116,8 @@ class SerialProgress(_ProgressBase):
         if total == 0:
             yield Delay(self.costs.progress_empty_ns)
         yield from self.global_lock.release()
+        if traced:
+            trc.end(tid, {"completions": total, "mode": "serial"})
         if self.post_round is not None:
             yield from self.post_round()
         return total
@@ -118,20 +129,31 @@ class ConcurrentProgress(_ProgressBase):
     def progress(self):
         """Generator: one progress-engine call; returns completion count."""
         self.calls += 1
+        trc = self.sched.tracer
+        traced = trc.enabled
+        if traced:
+            tid = trc.thread_track(self.sched.current)
+            trc.begin(tid, "progress.sweep", "progress")
         instances = self.pool.instances
         k = yield from self.pool.dedicated_index()
         count = yield from self._progress_instance(instances[k])
-        count = count or 0
+        if count is None:
+            self.denied += 1
+            count = 0
         if count == 0:
             for _ in range(len(instances)):
                 k = yield from self.pool.round_robin_index()
                 r = yield from self._progress_instance(instances[k])
-                if r:
+                if r is None:
+                    self.denied += 1
+                elif r:
                     count += r
                 if count > 0:
                     break
         if count == 0:
             yield Delay(self.costs.progress_empty_ns)
+        if traced:
+            trc.end(tid, {"completions": count, "mode": "concurrent"})
         if self.post_round is not None:
             yield from self.post_round()
         return count

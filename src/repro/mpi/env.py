@@ -83,6 +83,12 @@ class MpiThreadEnv:
         costs = process.costs
         req = SendRequest(dst, tag, nbytes)
         state = process.comm_state(comm)
+        trc = self.sched.tracer
+        traced = trc.enabled
+        if traced:
+            tid = trc.thread_track(self.sched.current)
+            trc.begin(tid, "send", "p2p", {"dst": dst, "tag": tag,
+                                           "nbytes": nbytes})
         # Sequence assignment happens *before* the instance lock -- the
         # race between assignment and injection is real (section II-C).
         seq = yield from state.send_seq(dst).fetch_add()
@@ -107,6 +113,9 @@ class MpiThreadEnv:
         cri.sends += 1
         yield from cri.lock.release()
         process.spc.messages_sent += 1
+        if traced:
+            trc.end(tid, {"seq": seq,
+                          "proto": "rndv" if envelope.kind == RTS else "eager"})
         return req
 
     def irecv(self, comm, src: int = ANY_SOURCE, tag: int = ANY_TAG,

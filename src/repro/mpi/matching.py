@@ -53,6 +53,14 @@ class MatchingEngine:
         self._last_matcher = None
         self._last_match_at = -(10 ** 18)
 
+    def _trace_depths(self, trc) -> None:
+        """Sample this engine's queue depths on its trace track."""
+        trc.counter(
+            trc.resource_track("queue", f"q:{self.lock.name}", key=id(self)),
+            {"posted": len(self.posted),
+             "unexpected": len(self.unexpected),
+             "oos": sum(len(buf) for buf in self.oos_buffer.values())})
+
     # ------------------------------------------------------------------
     def _migration(self) -> int:
         """Cache-migration penalty when a different thread *matches*.
@@ -143,6 +151,11 @@ class MatchingEngine:
         """
         costs = self.costs
         self.spc.recv_posted += 1
+        trc = self.sched.tracer
+        traced = trc.enabled
+        if traced:
+            tid = trc.thread_track(self.sched.current)
+            trc.begin(tid, "match.post", "match")
         yield Delay(costs.recv_post_ns)
         yield from self.lock.acquire()
         work = costs.match_base_ns // 4
@@ -156,6 +169,9 @@ class MatchingEngine:
         self.spc.match_time_ns += work
         yield Delay(work)
         yield from self.lock.release()
+        if traced:
+            trc.end(tid, {"outcome": "unexpected-hit" if m else "posted"})
+            self._trace_depths(trc)
 
     def probe_unexpected(self, src: int, tag: int, remove: bool = False):
         """Generator: look for an unexpected message matching (src, tag).
@@ -195,12 +211,20 @@ class MatchingEngine:
     def handle_arrival(self, env):
         """Generator: process one incoming message; returns completions."""
         costs = self.costs
+        trc = self.sched.tracer
+        traced = trc.enabled
+        if traced:
+            tid = trc.thread_track(self.sched.current)
+            trc.begin(tid, "match.arrival", "match",
+                      {"src": env.src, "seq": env.seq})
+        outcome = "expected"
         yield from self.lock.acquire()
         work = self._migration()
         completions = 0
         if self.allow_overtaking:
             w, completions = self._match_one(env)
             work += w
+            outcome = "overtaking"
         else:
             src = env.src
             expected = self.expected_seq.get(src, 0)
@@ -212,6 +236,7 @@ class MatchingEngine:
                 self.spc.out_of_sequence += 1
                 self.spc.note_oos_depth(len(buf))
                 work += costs.oos_insert_ns
+                outcome = "oos-buffered"
             else:
                 w, c = self._match_one(env)
                 work += w
@@ -234,6 +259,12 @@ class MatchingEngine:
         # The per-process host pipeline bounds total message-handling rate.
         yield Delay(self.process.host_reserve() + work)
         yield from self.lock.release()
+        if traced:
+            if outcome == "expected" and completions == 0:
+                outcome = "unexpected"
+            trc.end(tid, {"outcome": outcome, "completions": completions,
+                          "work_ns": work})
+            self._trace_depths(trc)
         return completions
 
 

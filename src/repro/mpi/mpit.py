@@ -38,10 +38,24 @@ _PVAR_DERIVED = {
     "match_time_ms": "total matching time in milliseconds",
 }
 
+#: Observability pvars backed by live lock/progress structures (the
+#: counters repro.obs traces); read through
+#: :meth:`~repro.mpi.process.MpiProcess.obs_counters`.
+_PVAR_OBS = {
+    "match_lock_wait_ns": "cumulative contended wait on matching locks",
+    "match_lock_hold_ns": "cumulative hold time of matching locks",
+    "cri_lock_wait_ns": "cumulative contended wait on CRI locks",
+    "cri_lock_hold_ns": "cumulative hold time of CRI locks",
+    "cri_lock_tryfails": "failed try-lock attempts on CRI locks",
+    "progress_calls": "progress-engine invocations",
+    "progress_denied": "progress calls denied by a held try-lock",
+    "progress_lock_wait_ns": "cumulative wait on the serial progress lock",
+}
+
 
 def _pvar_names() -> list[str]:
     names = [f.name for f in dataclasses.fields(SPC)]
-    return names + sorted(_PVAR_DERIVED)
+    return names + sorted(_PVAR_DERIVED) + sorted(_PVAR_OBS)
 
 
 # ----------------------------------------------------------------------
@@ -87,6 +101,8 @@ class PvarSession:
             out.append(VarInfo(f.name, doc, "pvar"))
         for name, doc in sorted(_PVAR_DERIVED.items()):
             out.append(VarInfo(name, doc, "pvar"))
+        for name, doc in sorted(_PVAR_OBS.items()):
+            out.append(VarInfo(name, doc, "pvar"))
         return out
 
     def _spc(self, rank: int | None) -> SPC:
@@ -94,8 +110,15 @@ class PvarSession:
             return self.world.spc_total()
         return self.world.processes[rank].spc
 
+    def _obs(self, rank: int | None) -> dict:
+        if rank is None:
+            return self.world.obs_total()
+        return self.world.processes[rank].obs_counters()
+
     def read(self, name: str, rank: int | None = None):
         """Read one pvar; ``rank=None`` aggregates over all processes."""
+        if name in _PVAR_OBS:
+            return self._obs(rank)[name]
         if name not in _pvar_names():
             raise KeyError(f"unknown pvar {name!r}")
         return getattr(self._spc(rank), name)
@@ -103,7 +126,10 @@ class PvarSession:
     def snapshot(self, rank: int | None = None) -> dict:
         """All pvars at once (a consistent read in virtual time)."""
         spc = self._spc(rank)
-        return {name: getattr(spc, name) for name in _pvar_names()}
+        out = {name: getattr(spc, name)
+               for name in _pvar_names() if name not in _PVAR_OBS}
+        out.update(self._obs(rank))
+        return out
 
     @staticmethod
     def diff(before: dict, after: dict) -> dict:
@@ -116,10 +142,17 @@ class PvarSession:
         return out
 
     def reset(self, rank: int | None = None) -> None:
-        """Zero the counters (per rank, or everywhere)."""
+        """Zero the counters (per rank, or everywhere).
+
+        Covers the SPCs *and* the observability-backed pvars: lock
+        statistics and progress-engine call counts are zeroed in place,
+        so diffs taken after a reset start from a clean epoch.
+        """
         targets = (self.world.processes if rank is None
                    else [self.world.processes[rank]])
         for proc in targets:
-            fresh = SPC()
-            for f in dataclasses.fields(SPC):
-                setattr(proc.spc, f.name, getattr(fresh, f.name))
+            proc.spc.reset()
+            for lock in proc.obs_locks():
+                lock.reset_stats()
+            proc.progress_engine.calls = 0
+            proc.progress_engine.denied = 0

@@ -65,6 +65,52 @@ class MpiProcess:
             state = self.comm_state(self.world.comm_by_id(comm_id))
         return state
 
+    @property
+    def comm_states(self) -> tuple:
+        """All materialized per-communicator states, in creation order."""
+        return tuple(self._comm_states.values())
+
+    def obs_counters(self) -> dict:
+        """Lock/progress gauges derived from live structures.
+
+        The observability layer (``repro.obs``) and the MPI_T pvar
+        surface both read contention through this one accessor: match-
+        lock and CRI-lock cumulative wait/hold time, try-lock failures,
+        and progress-engine call/denial counts.
+        """
+        match_wait = match_hold = 0
+        for state in self._comm_states.values():
+            lock = state.matching.lock
+            match_wait += lock.wait_time_ns
+            match_hold += lock.hold_time_ns
+        cri_wait = cri_hold = cri_tryfails = 0
+        for cri in self.pool.instances:
+            cri_wait += cri.lock.wait_time_ns
+            cri_hold += cri.lock.hold_time_ns
+            cri_tryfails += cri.lock.tryfails
+        engine = self.progress_engine
+        progress_lock = getattr(engine, "global_lock", None)
+        return {
+            "match_lock_wait_ns": match_wait,
+            "match_lock_hold_ns": match_hold,
+            "cri_lock_wait_ns": cri_wait,
+            "cri_lock_hold_ns": cri_hold,
+            "cri_lock_tryfails": cri_tryfails,
+            "progress_calls": engine.calls,
+            "progress_denied": engine.denied,
+            "progress_lock_wait_ns":
+                progress_lock.wait_time_ns if progress_lock else 0,
+        }
+
+    def obs_locks(self) -> list:
+        """Every lock this process owns (match + CRI + progress global)."""
+        locks = [state.matching.lock for state in self._comm_states.values()]
+        locks.extend(cri.lock for cri in self.pool.instances)
+        progress_lock = getattr(self.progress_engine, "global_lock", None)
+        if progress_lock is not None:
+            locks.append(progress_lock)
+        return locks
+
     # ------------------------------------------------------------------
     def host_reserve(self) -> int:
         """Reserve one slot of the process's host pipeline.

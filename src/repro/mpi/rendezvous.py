@@ -43,6 +43,11 @@ class RendezvousManager:
     def queue_cts(self, rts_env: Envelope, recv_req) -> None:
         """An RTS matched a posted receive: answer with clear-to-send."""
         self.rts_matched += 1
+        sched = self.process.sched
+        trc = sched.tracer
+        if trc.enabled and sched.current is not None:
+            trc.instant(trc.thread_track(sched.current), "rndv.rts-matched",
+                        "rndv", {"src": rts_env.src, "nbytes": rts_env.nbytes})
         self._pending.append(Envelope(
             src=self.process.rank, dst=rts_env.src, comm_id=rts_env.comm_id,
             tag=rts_env.tag, seq=-1, nbytes=0, kind=CTS,
@@ -67,6 +72,12 @@ class RendezvousManager:
         process = self.process
         while self._pending:
             env = self._pending.popleft()
+            trc = process.sched.tracer
+            traced = trc.enabled
+            if traced:
+                tid = trc.thread_track(process.sched.current)
+                trc.begin(tid, "rndv.cts" if env.kind == CTS else "rndv.data",
+                          "rndv", {"dst": env.dst, "nbytes": env.nbytes})
             cri = yield from process.pool.get_instance()
             yield from cri.lock.acquire()
             yield Delay(process.costs.rndv_handshake_ns)
@@ -77,6 +88,8 @@ class RendezvousManager:
                 self.cts_sent += 1
             else:
                 self.data_sent += 1
+            if traced:
+                trc.end(tid)
 
     @property
     def pending(self) -> int:

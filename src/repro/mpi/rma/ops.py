@@ -24,6 +24,12 @@ MIN_OP = "min"
 def _post(env, win, op: WindowOp, post_cost_ns: int):
     """Generator: shared CRI-acquire/post/release path for all RMA ops."""
     process = env.process
+    trc = env.sched.tracer
+    traced = trc.enabled
+    if traced:
+        tid = trc.thread_track(env.sched.current)
+        trc.begin(tid, f"rma.{op.kind}", "rma",
+                  {"target": op.target, "nbytes": op.nbytes})
     cri = yield from process.pool.get_instance(switch_ns=env.costs.rma_instance_switch_ns)
     yield from cri.lock.acquire()
     # No host_reserve here: one-sided ops are NIC offload -- no matching,
@@ -35,6 +41,8 @@ def _post(env, win, op: WindowOp, post_cost_ns: int):
     yield from cri.context.post_rma(endpoint, op)
     yield from cri.lock.release()
     process.spc.rma_ops += 1
+    if traced:
+        trc.end(tid, {"cri": cri.index})
     return op
 
 
@@ -124,11 +132,19 @@ def flush(env, win, target: int | None = None):
     two-sided traffic still advances, as a real MPI_Win_flush would)."""
     costs = env.costs
     env.process.spc.rma_flushes += 1
+    trc = env.sched.tracer
+    traced = trc.enabled
+    if traced:
+        tid = trc.thread_track(env.sched.current)
+        trc.begin(tid, "rma.flush", "rma",
+                  {"outstanding": win.outstanding(env.rank, target)})
     yield Delay(costs.rma_flush_ns)
     while win.outstanding(env.rank, target):
         n = yield from env.progress()
         if win.outstanding(env.rank, target):
             yield Delay(costs.rma_flush_backoff_ns if n == 0 else costs.wait_poll_ns)
+    if traced:
+        trc.end(tid)
 
 
 def win_lock(env, win, target: int, exclusive: bool = False):

@@ -9,6 +9,7 @@ supporting counters around them.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -33,6 +34,15 @@ class SPC:
     match_migrations: int = 0
     #: sends routed through the rendezvous (RTS/CTS/DATA) protocol
     rendezvous_sends: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place (MPI_T pvar reset semantics).
+
+        Counter *objects* stay shared: components hold references to
+        this SPC, so resetting must mutate rather than rebuild.
+        """
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, f.default)
 
     def note_oos_depth(self, depth: int) -> None:
         if depth > self.oos_buffered_high_watermark:
@@ -80,6 +90,10 @@ class SPCAggregate:
 
     def add(self, spc: SPC) -> None:
         self.counters.append(spc)
+
+    def clear(self) -> None:
+        """Drop every registered SPC (the counters themselves survive)."""
+        self.counters.clear()
 
     def total(self) -> SPC:
         out = SPC()

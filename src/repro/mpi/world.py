@@ -113,6 +113,20 @@ class MpiWorld:
             agg.add(p.spc)
         return agg.total()
 
+    def obs_total(self) -> dict:
+        """Summed lock/progress observability gauges over all processes."""
+        total: dict = {}
+        for p in self.processes:
+            for key, value in p.obs_counters().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    def matching_engines(self):
+        """Every materialized matching engine (metrics sampling helper)."""
+        for p in self.processes:
+            for state in p.comm_states:
+                yield state.matching
+
     def __repr__(self):  # pragma: no cover - debug aid
         return (f"<MpiWorld nprocs={self.nprocs} nodes={len(self.nics)} "
                 f"config={self.config}>")

@@ -1,0 +1,36 @@
+"""Observability: virtual-time tracing, exporters and SPC time-series.
+
+The subsystem the paper's methodology implies but end-of-run counters
+cannot provide: *when* and *on which lock/CRI* contention happens.
+
+* :class:`~repro.obs.tracer.Tracer` -- records begin/end spans, instant
+  events and counter samples in virtual time, one track per simulated
+  thread plus one per shared resource (lock, CRI, match queue).  The
+  scheduler carries a :data:`~repro.obs.tracer.NULL_TRACER` by default,
+  so instrumentation sites are a single ``if tracer.enabled`` branch
+  when tracing is off.
+* :mod:`~repro.obs.export` -- Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``) and a plain-text top-N report.
+* :class:`~repro.obs.metrics.MetricsRegistry` -- samples the SPCs and
+  derived gauges (lock wait time, CRI utilization, queue depths) on a
+  virtual-time interval, emitting time-series CSV.
+* :mod:`~repro.obs.scenarios` -- representative traced runs behind the
+  ``python -m repro trace`` CLI (imported lazily; it pulls in the
+  workload layer).
+
+Traces are deterministic: byte-identical across runs with the same seed.
+"""
+
+from repro.obs.export import save_trace, to_chrome_json, top_report
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "to_chrome_json",
+    "top_report",
+    "save_trace",
+]

@@ -1,0 +1,123 @@
+"""Representative traced runs behind ``python -m repro trace``.
+
+A full experiment is a sweep of dozens of simulations; tracing all of
+them would produce an unreadable multi-gigabyte artifact.  Instead each
+traceable experiment maps to ONE representative simulation -- the
+configuration of its most interesting data point -- run with a
+:class:`~repro.obs.tracer.Tracer` (and optionally a
+:class:`~repro.obs.metrics.MetricsRegistry`) attached through the
+workload's ``instrument`` hook.
+
+The fig3/fig4/table2 scenarios share parameters, so their traces are
+directly comparable: ``trace fig3a`` (serial progress) vs ``trace
+fig3b`` (concurrent progress) shows the paper's Table II story as lock
+tracks -- the matching lock's cumulative contended wait explodes once
+progress is parallelized while matching stays shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ThreadingConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+@dataclass
+class TracedRun:
+    """One instrumented representative run."""
+
+    exp_id: str
+    tracer: Tracer
+    metrics: MetricsRegistry | None
+    result: object          #: the workload's result object
+    elapsed_ns: int
+
+
+#: experiment id -> (kind, spec) of the representative simulation.
+#: multirate spec: (progress, comm_per_pair, allow_overtaking, any_tag)
+#: rmamt spec: (testbed attr, threads)
+_MULTIRATE = {
+    "fig3a": ("serial", False, False, False),
+    "fig3b": ("concurrent", False, False, False),
+    "fig3c": ("concurrent", True, False, False),
+    "fig4a": ("serial", False, True, True),
+    "fig4b": ("concurrent", False, True, True),
+    "fig4c": ("concurrent", True, True, True),
+    "table2": ("concurrent", False, False, False),
+}
+_RMAMT = {
+    "fig6": "TRINITITE_HASWELL",
+    "fig7": "TRINITITE_KNL",
+}
+
+#: representative multirate shape: mid-size, enough pairs to contend.
+PAIRS = 8
+WINDOW = 64
+WINDOWS = 2
+INSTANCES = 20
+
+
+def traceable_ids() -> list[str]:
+    """Experiment ids that have a representative traced scenario."""
+    return sorted(_MULTIRATE) + sorted(_RMAMT)
+
+
+def traced_run(exp_id: str, seed: int = 1,
+               metrics_interval_ns: int | None = None,
+               trace: bool = True) -> TracedRun:
+    """Run ``exp_id``'s representative simulation with instrumentation.
+
+    Returns the :class:`TracedRun`; the tracer's export is byte-identical
+    for identical ``(exp_id, seed, metrics_interval_ns)`` inputs.
+    """
+    if exp_id not in _MULTIRATE and exp_id not in _RMAMT:
+        raise KeyError(f"experiment {exp_id!r} has no traced scenario; "
+                       f"traceable: {traceable_ids()}")
+
+    captured: dict = {}
+
+    def instrument(sched, world):
+        if trace:
+            captured["tracer"] = Tracer(sched)
+        if metrics_interval_ns is not None:
+            captured["metrics"] = MetricsRegistry(
+                world, interval_ns=metrics_interval_ns)
+
+    if exp_id in _MULTIRATE:
+        from repro.experiments.testbeds import ALEMBERT
+        from repro.workloads.multirate import MultirateConfig, run_multirate
+
+        progress, comm_per_pair, overtaking, any_tag = _MULTIRATE[exp_id]
+        cfg = MultirateConfig(pairs=PAIRS, window=WINDOW, windows=WINDOWS,
+                              msg_bytes=0, comm_per_pair=comm_per_pair,
+                              allow_overtaking=overtaking, any_tag=any_tag,
+                              seed=seed)
+        threading = ThreadingConfig(num_instances=INSTANCES,
+                                    assignment="dedicated", progress=progress)
+        result = run_multirate(cfg, threading=threading, costs=ALEMBERT.costs,
+                               fabric=ALEMBERT.fabric, instrument=instrument)
+        elapsed = result.elapsed_ns
+    else:
+        from repro.experiments import testbeds
+        from repro.workloads.rmamt import RmaMtConfig, run_rmamt
+
+        testbed = getattr(testbeds, _RMAMT[exp_id])
+        cfg = RmaMtConfig(threads=8, ops_per_thread=150, msg_bytes=1024,
+                          op="put", sync="flush", seed=seed)
+        threading = ThreadingConfig(num_instances=testbed.default_instances,
+                                    assignment="dedicated",
+                                    progress="concurrent")
+        result = run_rmamt(cfg, threading=threading, costs=testbed.costs,
+                           fabric=testbed.fabric, instrument=instrument)
+        elapsed = result.elapsed_ns
+
+    metrics = captured.get("metrics")
+    if metrics is not None:
+        metrics.finalize()
+    tracer = captured.get("tracer")
+    if tracer is not None:
+        tracer.detach()
+    return TracedRun(exp_id=exp_id, tracer=tracer, metrics=metrics,
+                     result=result, elapsed_ns=elapsed)

@@ -29,6 +29,7 @@ import heapq
 import itertools
 import random
 
+from repro.obs.tracer import NULL_TRACER
 from repro.simthread.errors import DeadlockError, SimThreadError
 from repro.simthread.thread import SimThread
 
@@ -85,16 +86,41 @@ class Scheduler:
     """
 
     def __init__(self, seed: int = 0, jitter: float = 0.05):
-        self.now: int = 0
+        self._now: int = 0
         self.rng = random.Random(seed)
         self.jitter = float(jitter)
         self.events_processed: int = 0
         self.current: SimThread | None = None
+        #: observability hook; a no-op NullTracer unless a
+        #: :class:`repro.obs.Tracer` is attached.
+        self.tracer = NULL_TRACER
         self._heap: list = []
         self._tick = itertools.count()
         self._threads: list[SimThread] = []
         self._nparked = 0
         self._failure: BaseException | None = None
+        self._sampler = None
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds (read-only).
+
+        Only the event loop advances this; components read it to stamp
+        events and compute durations.  Tests and the tracer should use
+        this property rather than reaching into the event heap.
+        """
+        return self._now
+
+    def set_sampler(self, sampler) -> None:
+        """Install (or, with ``None``, remove) a metrics sampler.
+
+        The sampler must expose ``due`` (next virtual time it wants to
+        run, ns) and ``sample(now)``; the event loop invokes it whenever
+        virtual time reaches ``due``.  Used by
+        :class:`repro.obs.MetricsRegistry` for interval time-series
+        without keeping the event heap artificially alive.
+        """
+        self._sampler = sampler
 
     # ------------------------------------------------------------------
     # thread lifecycle
@@ -169,8 +195,10 @@ class Scheduler:
             if max_time is not None and when > max_time:
                 heapq.heappush(heap, (when, next(self._tick), item))
                 break
-            self.now = when
+            self._now = when
             self.events_processed += 1
+            if self._sampler is not None and when >= self._sampler.due:
+                self._sampler.sample(when)
             if max_events is not None and self.events_processed > max_events:
                 raise SimThreadError(f"exceeded max_events={max_events} (runaway simulation?)")
             if isinstance(item, _Callback):
@@ -210,6 +238,7 @@ class Scheduler:
             self._nparked += 1
         elif type(cmd) is Delay:
             ns = self.jittered(cmd.ns) if cmd.jitter else cmd.ns
+            thread._run_ns += ns
             self._push(thread, self.now + ns, None)
         elif type(cmd) is YieldNow:
             self._push(thread, self.now, None)

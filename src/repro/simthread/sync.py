@@ -74,7 +74,8 @@ class SimLock:
 
     __slots__ = ("_sched", "costs", "name", "fairness", "_owner", "_last_owner",
                  "_waiters", "acquisitions", "contended_acquisitions", "migrations",
-                 "tryfails", "_handoff_queue_depth")
+                 "tryfails", "_handoff_queue_depth", "wait_time_ns", "hold_time_ns",
+                 "_held_since")
 
     def __init__(self, sched, costs: LockCosts | None = None, name: str = "lock",
                  fairness: str = "unfair"):
@@ -88,11 +89,25 @@ class SimLock:
         self._last_owner = None
         self._waiters: list = []
         self._handoff_queue_depth = 0
-        # statistics (inspected by tests and the SPC layer)
+        self._held_since = 0
+        # statistics (inspected by tests, the SPC layer and repro.obs)
         self.acquisitions = 0
         self.contended_acquisitions = 0
         self.migrations = 0
         self.tryfails = 0
+        #: cumulative virtual time threads spent parked on this lock
+        self.wait_time_ns = 0
+        #: cumulative virtual time the lock was held
+        self.hold_time_ns = 0
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters (the lock state is untouched)."""
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+        self.migrations = 0
+        self.tryfails = 0
+        self.wait_time_ns = 0
+        self.hold_time_ns = 0
 
     # ------------------------------------------------------------------
     @property
@@ -107,6 +122,9 @@ class SimLock:
         if self.costs.migration_ns and self._last_owner is not None \
                 and self._last_owner is not thread:
             self.migrations += 1
+            trc = self._sched.tracer
+            if trc.enabled:
+                trc.lock_migration(self, thread)
             return self.costs.migration_ns
         return 0
 
@@ -114,11 +132,18 @@ class SimLock:
     def acquire(self):
         """Generator: block until the lock is owned by the calling thread."""
         me = self._sched.current
+        trc = self._sched.tracer
         if self._owner is None:
             self._owner = me
+            self._held_since = self._sched.now
             self.acquisitions += 1
+            if trc.enabled:
+                trc.lock_acquired(self, me, contended=False)
             yield Delay(self.costs.acquire_ns + self._migration_cost(me))
             return
+        parked_at = self._sched.now
+        if trc.enabled:
+            trc.lock_wait_begin(self, me, len(self._waiters) + 1)
         self._waiters.append(me)
         yield SUSPEND
         # The releasing thread transferred ownership to us before waking us.
@@ -126,6 +151,9 @@ class SimLock:
             raise SimThreadError(f"lock {self.name}: woken without ownership")
         self.acquisitions += 1
         self.contended_acquisitions += 1
+        self.wait_time_ns += self._sched.now - parked_at
+        if trc.enabled:
+            trc.lock_wait_end(self, me)
         convoy = self.costs.contended_per_waiter_ns * self._handoff_queue_depth
         yield Delay(self.costs.contended_ns + convoy + self._migration_cost(me))
 
@@ -134,10 +162,17 @@ class SimLock:
         me = self._sched.current
         if self._owner is None:
             self._owner = me
+            self._held_since = self._sched.now
             self.acquisitions += 1
+            trc = self._sched.tracer
+            if trc.enabled:
+                trc.lock_acquired(self, me, contended=False)
             yield Delay(self.costs.acquire_ns + self._migration_cost(me))
             return True
         self.tryfails += 1
+        trc = self._sched.tracer
+        if trc.enabled:
+            trc.lock_tryfail(self, me)
         yield Delay(self.costs.tryfail_ns)
         return False
 
@@ -149,6 +184,10 @@ class SimLock:
                 f"lock {self.name}: release by non-owner "
                 f"{me.name if me else None} (owner={self._owner})")
         self._last_owner = me
+        self.hold_time_ns += self._sched.now - self._held_since
+        trc = self._sched.tracer
+        if trc.enabled:
+            trc.lock_released(self, me)
         if self._waiters:
             if self.fairness == "unfair" and len(self._waiters) > 1:
                 idx = self._sched.rng.randrange(len(self._waiters))
@@ -156,7 +195,10 @@ class SimLock:
                 idx = 0
             winner = self._waiters.pop(idx)
             self._owner = winner
+            self._held_since = self._sched.now
             self._handoff_queue_depth = len(self._waiters)
+            if trc.enabled:
+                trc.lock_acquired(self, winner, contended=True)
             self._sched.wake(winner)
         else:
             self._owner = None

@@ -36,6 +36,7 @@ class SimThread:
         "_resume_value",
         "_parked",
         "_joiners",
+        "_run_ns",
     )
 
     def __init__(self, sched, gen, name: str):
@@ -50,6 +51,19 @@ class SimThread:
         self._resume_value = None
         self._parked = False
         self._joiners: list[SimThread] = []
+        self._run_ns = 0
+
+    @property
+    def run_time_ns(self) -> int:
+        """Cumulative virtual time this thread spent *running* (ns).
+
+        The sum of every ``Delay`` cost the thread has yielded -- its
+        on-CPU time in the simulation.  Time parked on a lock or waiting
+        for a wake is excluded, so ``lifetime - run_time_ns`` is the
+        thread's blocked time.  Read-only: the scheduler accounts it as
+        delays are processed.
+        """
+        return self._run_ns
 
     # ------------------------------------------------------------------
     def _finish(self, result) -> None:

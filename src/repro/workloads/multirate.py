@@ -102,13 +102,22 @@ def run_multirate(cfg: MultirateConfig,
                   threading: ThreadingConfig | None = None,
                   costs: CostModel | None = None,
                   fabric: FabricParams | None = None,
-                  lock_fairness: str = "unfair") -> MultirateResult:
-    """Execute one Multirate-pairwise run and return its result."""
+                  lock_fairness: str = "unfair",
+                  instrument=None) -> MultirateResult:
+    """Execute one Multirate-pairwise run and return its result.
+
+    ``instrument`` is an optional ``fn(sched, world)`` called after world
+    construction and before any thread is spawned; the observability
+    layer uses it to attach a :class:`repro.obs.Tracer` and/or a
+    :class:`repro.obs.MetricsRegistry` without changing the run itself.
+    """
     sched = Scheduler(seed=cfg.seed)
     nprocs, placement = world_shape(cfg.entity_mode, cfg.pairs)
     world = MpiWorld(sched, nprocs=nprocs, nodes=2, config=threading,
                      costs=costs, fabric_params=fabric, placement=placement,
                      lock_fairness=lock_fairness)
+    if instrument is not None:
+        instrument(sched, world)
     info = Info({ALLOW_OVERTAKING: True}) if cfg.allow_overtaking else None
 
     bindings = pair_bindings(cfg.entity_mode, cfg.pairs)

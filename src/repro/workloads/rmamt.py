@@ -75,11 +75,18 @@ def _worker(env, win, cfg: RmaMtConfig):
 def run_rmamt(cfg: RmaMtConfig,
               threading: ThreadingConfig | None = None,
               costs: CostModel | None = None,
-              fabric: FabricParams | None = None) -> RmaMtResult:
-    """Execute one RMA-MT run and return its result."""
+              fabric: FabricParams | None = None,
+              instrument=None) -> RmaMtResult:
+    """Execute one RMA-MT run and return its result.
+
+    ``instrument`` is an optional ``fn(sched, world)`` hook used by
+    ``repro.obs`` to attach tracing/metrics (see ``run_multirate``).
+    """
     sched = Scheduler(seed=cfg.seed)
     world = MpiWorld(sched, nprocs=2, nodes=2, config=threading, costs=costs,
                      fabric_params=fabric)
+    if instrument is not None:
+        instrument(sched, world)
     env0 = world.env(0, "rmamt-main")
     win = env0.win_allocate(world.comm_world, max(cfg.msg_bytes, 1) * 4)
     # The main thread opens the process's passive access epoch to every

@@ -73,3 +73,69 @@ class TestPvars:
         assert session.read("messages_received", rank=1) == 20
         session.reset()
         assert session.read("messages_received") == 0
+
+
+class TestObsPvars:
+    """The tracer-backed pvars added by repro.obs."""
+
+    def test_listed_with_docs(self, sched, world):
+        session = PvarSession(world)
+        by_name = {v.name: v for v in session.list_pvars()}
+        assert "match_lock_hold_ns" in by_name
+        assert "progress_denied" in by_name
+        assert by_name["match_lock_wait_ns"].description
+
+    def test_read_grows_with_traffic(self, sched, world):
+        session = PvarSession(world)
+        assert session.read("match_lock_hold_ns") == 0
+        assert session.read("progress_calls") == 0
+        run_traffic(sched, world)
+        assert session.read("match_lock_hold_ns") > 0
+        assert session.read("progress_calls") > 0
+        # aggregate equals the per-rank sum
+        total = sum(session.read("match_lock_hold_ns", rank=r)
+                    for r in range(len(world.processes)))
+        assert session.read("match_lock_hold_ns") == total
+
+    def test_snapshot_diff_round_trip(self, sched, world):
+        session = PvarSession(world)
+        before = session.snapshot()
+        assert "cri_lock_hold_ns" in before
+        run_traffic(sched, world, n=12)
+        delta = session.diff(before, session.snapshot())
+        assert delta["messages_sent"] == 12
+        assert delta["match_lock_hold_ns"] > 0
+        assert delta["progress_calls"] > 0
+
+    def test_reset_zeroes_obs_counters(self, sched, world):
+        run_traffic(sched, world)
+        session = PvarSession(world)
+        assert session.read("match_lock_hold_ns") > 0
+        session.reset()
+        for name in ("match_lock_wait_ns", "match_lock_hold_ns",
+                     "cri_lock_wait_ns", "cri_lock_hold_ns",
+                     "cri_lock_tryfails", "progress_calls",
+                     "progress_denied", "progress_lock_wait_ns"):
+            assert session.read(name) == 0
+        # a reset starts a clean epoch: new traffic is counted from zero
+        run_traffic(sched, world, n=4)
+        assert session.read("messages_sent") == 4
+        assert session.read("match_lock_hold_ns") > 0
+
+
+class TestSpcReset:
+    def test_spc_reset_mutates_in_place(self, sched, world):
+        run_traffic(sched, world, n=6)
+        spc = world.processes[0].spc
+        alias = spc
+        spc.reset()
+        assert alias is world.processes[0].spc
+        assert spc.messages_sent == 0 and spc.match_time_ns == 0
+
+    def test_aggregate_clear(self, sched, world):
+        from repro.mpi.spc import SPC, SPCAggregate
+        agg = SPCAggregate()
+        agg.add(SPC(messages_sent=3))
+        agg.clear()
+        assert agg.counters == []
+        assert agg.total().messages_sent == 0

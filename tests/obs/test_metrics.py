@@ -1,0 +1,91 @@
+"""MetricsRegistry: interval sampling, CSV shape, determinism."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from tests.conftest import make_world
+
+
+def run_traffic(sched, world, n=40):
+    def sender(env):
+        for i in range(n):
+            yield from env.send(world.comm_world, dst=1, tag=0, payload=i)
+
+    def receiver(env):
+        for _ in range(n):
+            yield from env.recv(world.comm_world, src=0, tag=0)
+
+    sched.spawn(sender(world.env(0)))
+    sched.spawn(receiver(world.env(1)))
+    sched.run()
+
+
+def test_interval_validation(sched, world):
+    with pytest.raises(ValueError):
+        MetricsRegistry(world, interval_ns=0)
+
+
+def test_samples_accumulate_on_interval(sched, world):
+    reg = MetricsRegistry(world, interval_ns=10_000)
+    run_traffic(sched, world)
+    reg.finalize()
+    assert len(reg.rows) >= 2
+    times = [row["t_ns"] for row in reg.rows]
+    assert times == sorted(times)
+    assert times[-1] == sched.now
+    # counters are cumulative: the last row dominates the first
+    assert reg.rows[-1]["messages_sent"] >= reg.rows[0]["messages_sent"]
+    assert reg.rows[-1]["messages_sent"] == 40
+
+
+def test_rows_carry_obs_and_depth_fields(sched, world):
+    reg = MetricsRegistry(world, interval_ns=10_000)
+    run_traffic(sched, world)
+    reg.finalize()
+    row = reg.rows[-1]
+    for name in ("match_lock_wait_ns", "match_lock_hold_ns", "progress_calls",
+                 "posted_depth", "unexpected_depth", "oos_depth",
+                 "cri_utilization"):
+        assert name in row
+    assert row["match_lock_hold_ns"] > 0
+    assert 0.0 <= row["cri_utilization"] <= 1.0
+    assert reg.depth_histograms["posted_depth"].total == len(reg.rows)
+
+
+def test_finalize_detaches_sampler(sched, world):
+    reg = MetricsRegistry(world, interval_ns=10_000)
+    assert sched._sampler is reg
+    run_traffic(sched, world, n=5)
+    reg.finalize()
+    assert sched._sampler is None
+    rows = len(reg.rows)
+    reg.finalize()  # idempotent at the same virtual time
+    assert len(reg.rows) == rows
+
+
+def test_csv_shape_and_determinism():
+    def one_csv():
+        from repro.simthread import Scheduler
+        sched = Scheduler(seed=9, jitter=0.05)
+        world = make_world(sched)
+        reg = MetricsRegistry(world, interval_ns=10_000)
+        run_traffic(sched, world)
+        reg.finalize()
+        return reg
+    reg = one_csv()
+    csv = reg.to_csv()
+    lines = csv.splitlines()
+    assert lines[0].split(",") == list(reg.columns)
+    assert lines[0].startswith("t_ns,messages_sent")
+    assert len(lines) == len(reg.rows) + 1
+    assert csv == one_csv().to_csv()
+
+
+def test_depth_summary_keys(sched, world):
+    reg = MetricsRegistry(world, interval_ns=10_000)
+    run_traffic(sched, world, n=10)
+    reg.finalize()
+    summary = reg.depth_summary()
+    assert set(summary) == {"posted_depth", "unexpected_depth", "oos_depth"}
+    for stats in summary.values():
+        assert {"samples", "mean", "p50", "p99"} <= set(stats)

@@ -217,3 +217,66 @@ def test_lock_costs_scaled():
     s = c.scaled(2.0)
     assert (s.acquire_ns, s.contended_ns, s.release_ns) == (200, 400, 100)
     assert (s.tryfail_ns, s.migration_ns, s.contended_per_waiter_ns) == (20, 2000, 80)
+
+
+def test_lock_costs_scaled_pins_all_six_fields():
+    """Regression: every cost field must be scaled, none forgotten."""
+    c = LockCosts(acquire_ns=100, contended_ns=200, release_ns=50,
+                  tryfail_ns=10, migration_ns=1000, contended_per_waiter_ns=40)
+    half = c.scaled(0.5)
+    assert half == LockCosts(acquire_ns=50, contended_ns=100, release_ns=25,
+                             tryfail_ns=5, migration_ns=500,
+                             contended_per_waiter_ns=20)
+    assert c.scaled(1.0) == c
+
+
+def test_wait_and_hold_time_accounting():
+    sched = Scheduler(jitter=0.0)
+    costs = LockCosts(acquire_ns=10, contended_ns=20, release_ns=5)
+    lock = SimLock(sched, costs)
+
+    def holder():
+        yield from lock.acquire()
+        yield Delay(100)
+        yield from lock.release()
+
+    def waiter():
+        yield Delay(5)
+        yield from lock.acquire()
+        yield from lock.release()
+
+    sched.spawn(holder())
+    sched.spawn(waiter())
+    sched.run()
+    # waiter parks at t=5; ownership is handed off when the holder
+    # releases at t=110 (acquire at t=0 + Delay(100) + release at 110).
+    assert lock.wait_time_ns == 110 - 5
+    # holder held 0->110, waiter 110->release; both contribute.
+    assert lock.hold_time_ns > 100
+    assert lock.contended_acquisitions == 1
+
+
+def test_reset_stats_zeroes_counters_but_not_state():
+    sched = Scheduler(jitter=0.0)
+    lock = SimLock(sched, LockCosts(migration_ns=100))
+
+    def a():
+        yield from lock.acquire()
+        yield Delay(10)
+        yield from lock.release()
+
+    def b():
+        yield Delay(1)
+        ok = yield from lock.try_acquire()
+        assert not ok
+        yield from lock.acquire()
+        yield from lock.release()
+
+    sched.spawn(a())
+    sched.spawn(b())
+    sched.run()
+    assert lock.acquisitions and lock.tryfails and lock.hold_time_ns
+    lock.reset_stats()
+    assert (lock.acquisitions, lock.contended_acquisitions, lock.migrations,
+            lock.tryfails, lock.wait_time_ns, lock.hold_time_ns) == (0,) * 6
+    assert not lock.locked  # state untouched

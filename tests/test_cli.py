@@ -40,3 +40,50 @@ def test_run_with_output_dir(tmp_path, capsys, monkeypatch):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_trace_writes_valid_chrome_json(tmp_path, capsys):
+    import json
+    out = tmp_path / "fig6.json"
+    assert main(["trace", "fig6", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["otherData"]["generator"] == "repro.obs"
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    printed = capsys.readouterr().out
+    assert "perfetto" in printed and "trace report" in printed
+
+
+def test_trace_with_metrics_interval(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    assert main(["trace", "fig6", "--out", str(out),
+                 "--metrics-interval", "50000"]) == 0
+    csv = (tmp_path / "t.metrics.csv").read_text()
+    assert csv.startswith("t_ns,")
+    assert len(csv.splitlines()) >= 2
+
+
+def test_trace_unknown_experiment(capsys):
+    assert main(["trace", "fig99"]) == 2
+    assert "no traced scenario" in capsys.readouterr().err
+
+
+def test_non_positive_metrics_interval_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "fig6", "--metrics-interval", "0"])
+    assert "positive" in capsys.readouterr().err
+
+
+def test_run_with_metrics_interval(tmp_path, capsys, monkeypatch):
+    import repro.experiments.figure3 as f3
+    monkeypatch.setattr(f3, "QUICK_PAIRS", (1,))
+    assert main(["run", "fig3a", "--out", str(tmp_path),
+                 "--metrics-interval", "100000"]) == 0
+    assert (tmp_path / "fig3a.metrics.csv").read_text().startswith("t_ns,")
+    assert "queue depths" in capsys.readouterr().out
+
+
+def test_run_metrics_interval_without_scenario(capsys, monkeypatch):
+    import repro.experiments.figure5 as f5
+    monkeypatch.setattr(f5, "QUICK_PAIRS", (1,))
+    assert main(["run", "fig5", "--metrics-interval", "100000"]) == 0
+    assert "metrics skipped" in capsys.readouterr().out

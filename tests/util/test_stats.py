@@ -4,7 +4,8 @@ import math
 
 import pytest
 
-from repro.util.stats import geometric_mean, mean, pstdev, ratio, summarize
+from repro.util.stats import (Histogram, geometric_mean, mean, pstdev, ratio,
+                              summarize)
 
 
 def test_mean():
@@ -37,3 +38,55 @@ def test_ratio():
     assert ratio(10, 4) == 2.5
     with pytest.raises(ValueError):
         ratio(1, 0)
+
+
+class TestHistogram:
+    def test_add_and_counts_sorted(self):
+        h = Histogram()
+        for v in (3, 1, 1, 0):
+            h.add(v)
+        h.add(5, count=2)
+        assert h.total == 6
+        assert h.counts() == {0: 1, 1: 2, 3: 1, 5: 2}
+
+    def test_bin_width(self):
+        h = Histogram(bin_width=10)
+        h.add(3)
+        h.add(9)
+        h.add(17)
+        assert h.counts() == {0: 2, 10: 1}
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            Histogram(bin_width=0)
+        with pytest.raises(ValueError):
+            Histogram().add(-1)
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_mean_and_quantiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.add(v)
+        assert math.isclose(h.mean(), 50.5)
+        assert h.quantile(0.0) == 1
+        assert h.quantile(0.5) == 50
+        assert h.quantile(0.99) == 99
+        assert h.quantile(1.0) == 100
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.mean() == 0.0
+        assert h.quantile(0.5) == 0
+        assert h.counts() == {}
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.add(1)
+        b.add(1)
+        b.add(4, count=3)
+        a.merge(b)
+        assert a.total == 5
+        assert a.counts() == {1: 2, 4: 3}
+        with pytest.raises(ValueError):
+            a.merge(Histogram(bin_width=2))
