@@ -64,3 +64,26 @@ def test_same_seed_trace_is_byte_identical():
     a = traced_run("fig3b", seed=5)
     b = traced_run("fig3b", seed=5)
     assert to_chrome_json(a.tracer) == to_chrome_json(b.tracer)
+
+
+def test_same_seed_chaos_trace_is_byte_identical():
+    """Fault injection must not break the determinism invariant: the
+    injector draws from its own plan-seeded RNG, so the faulted trace
+    (drops, retransmits, fault track included) is a pure function of
+    (seed, plan)."""
+    a = traced_run("chaos", seed=5)
+    b = traced_run("chaos", seed=5)
+    assert a.result.faults["retransmits"] > 0
+    assert to_chrome_json(a.tracer) == to_chrome_json(b.tracer)
+
+
+def test_same_seed_chaos_csv_is_byte_identical():
+    from repro.experiments.chaos import run_chaos
+
+    kwargs = dict(drop_rates=(0.0, 0.05),
+                  designs=(("concurrent, 10 CRIs", "concurrent", 10),),
+                  pairs=2)
+    a = run_chaos(**kwargs)
+    b = run_chaos(**kwargs)
+    assert a.to_csv() == b.to_csv()
+    assert a.extra["retransmits"] == b.extra["retransmits"]

@@ -24,6 +24,7 @@ inventory, and EXPERIMENTS.md for paper-vs-measured results.
 """
 
 from repro.core import CRI, CRIPool, CostModel, ThreadingConfig
+from repro.faults import ContextFailure, FaultPlan, RetransmitPolicy, drop_plan
 from repro.mpi import (
     ANY_SOURCE,
     ANY_TAG,
@@ -53,21 +54,25 @@ __all__ = [
     "CRI",
     "CRIPool",
     "Communicator",
+    "ContextFailure",
     "CostModel",
     "Fabric",
     "FabricParams",
+    "FaultPlan",
     "IB_EDR",
     "Info",
     "MpiThreadEnv",
     "MpiWorld",
     "MultirateConfig",
     "MultirateResult",
+    "RetransmitPolicy",
     "RmaMtConfig",
     "RmaMtResult",
     "SPC",
     "Scheduler",
     "ThreadingConfig",
     "__version__",
+    "drop_plan",
     "run_multirate",
     "run_rmamt",
 ]

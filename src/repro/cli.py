@@ -8,7 +8,9 @@ Examples::
     python -m repro run fig6 --full --out results/
     python -m repro run all --out results/
     python -m repro run fig3b --metrics-interval 100000 --out results/
+    python -m repro run chaos --drop-rate 0.02
     python -m repro trace fig3a --out trace.json
+    python -m repro trace chaos --out chaos.json
 
 ``trace`` records one representative simulation of the experiment with
 the virtual-time tracer attached and writes Chrome trace-event JSON --
@@ -32,6 +34,14 @@ def _interval(text: str) -> int:
     return value
 
 
+def _drop_rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"drop rate must be in [0, 1], got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -52,6 +62,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           "time on a representative run of the experiment; "
                           "writes <exp>.metrics.csv under --out (or prints a "
                           "summary)")
+    run.add_argument("--drop-rate", type=_drop_rate, default=None, metavar="R",
+                     help="chaos only: sweep [0, R] as the packet drop axis "
+                          "instead of the built-in axis (fraction in [0, 1])")
 
     trace = sub.add_parser(
         "trace", help="trace one representative run (Perfetto/Chrome JSON)")
@@ -161,7 +174,17 @@ def main(argv=None) -> int:
                 _emit_metrics(exp_id, args.metrics_interval, args.out)
         return 0
     try:
-        result = run_experiment(args.experiment, quick=quick)
+        if args.drop_rate is not None:
+            if args.experiment != "chaos":
+                print("--drop-rate only applies to the 'chaos' experiment",
+                      file=sys.stderr)
+                return 2
+            from repro.experiments.chaos import run_chaos
+
+            result = run_chaos(quick=quick,
+                               drop_rates=(0.0, args.drop_rate / 2, args.drop_rate))
+        else:
+            result = run_experiment(args.experiment, quick=quick)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2

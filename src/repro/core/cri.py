@@ -20,7 +20,7 @@ from repro.simthread.sync import SimLock
 class CRI:
     """One Communication Resource Instance."""
 
-    __slots__ = ("index", "context", "lock", "sends", "progress_calls")
+    __slots__ = ("index", "context", "lock", "sends", "progress_calls", "dead")
 
     def __init__(self, sched, index: int, context, lock_costs, fairness: str = "unfair"):
         self.index = index
@@ -28,6 +28,8 @@ class CRI:
         self.lock = SimLock(sched, lock_costs, name=f"cri-{index}", fairness=fairness)
         self.sends = 0
         self.progress_calls = 0
+        #: permanently failed (its context died); excluded from assignment
+        self.dead = False
 
     @property
     def cq(self):

@@ -42,9 +42,52 @@ class CRIPool:
         self._tls = ThreadLocal(sched)
         self._last_used = ThreadLocal(sched)
         self.switches = 0
+        #: owning process's SPC (set by the MPI layer; ``None`` standalone)
+        self.spc = None
+        self.failed_instances: list[CRI] = []
+        #: CQ events rescued from dead instances into survivors
+        self.drained_events = 0
+        #: dedicated (TLS) assignments re-run because the instance died
+        self.migrations = 0
 
     def __len__(self) -> int:
         return len(self.instances)
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def fail_instance(self, index: int):
+        """Permanently fail the CRI created with ``index``; returns the
+        survivor that inherits its traffic (or ``None`` if already dead).
+
+        Plain callback (no yields): marks the CRI and its context dead,
+        removes it from the assignment rotation, drains its pending CQ
+        events into a deterministic survivor and points the dead
+        context's failover there, so in-flight deliveries and acks land
+        on a context some thread still progresses.  Threads re-run
+        Algorithm 1 over the survivors on their next assignment.
+        """
+        victim = None
+        for cri in self.instances:
+            if cri.index == index:
+                victim = cri
+                break
+        if victim is None:
+            return None  # unknown or already failed: nothing to do
+        if len(self.instances) == 1:
+            raise RuntimeError(
+                f"cannot fail cri-{index}: it is the pool's last surviving instance")
+        victim.dead = True
+        victim.context.failed = True
+        self.instances.remove(victim)
+        self.failed_instances.append(victim)
+        survivor = self.instances[index % len(self.instances)]
+        victim.context.failover = survivor.context
+        rescued = victim.cq.poll()
+        for event in rescued:
+            survivor.cq.push(event)
+        self.drained_events += len(rescued)
+        return survivor
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -55,8 +98,18 @@ class CRIPool:
         return self.instances[ticket % len(self.instances)]
 
     def get_instance_dedicated(self):
-        """Generator: this thread's permanent instance (TLS-cached)."""
+        """Generator: this thread's permanent instance (TLS-cached).
+
+        A cached instance that has since died triggers a *migration*:
+        the assignment is re-run over the survivors (and counted in the
+        ``cri_migrations`` SPC).
+        """
         cri = self._tls.get()
+        if cri is not None and cri.dead:
+            self.migrations += 1
+            if self.spc is not None:
+                self.spc.cri_migrations += 1
+            cri = None
         if cri is None:
             cri = yield from self.get_instance_round_robin()
             self._tls.set(cri)
@@ -83,10 +136,11 @@ class CRIPool:
         return cri
 
     def dedicated_index(self):
-        """Generator: index of this thread's dedicated instance (Algorithm 2
-        uses it to prioritize before helping others)."""
+        """Generator: *position* of this thread's dedicated instance in
+        ``instances`` (Algorithm 2 indexes the live list with it; after a
+        failure, creation index and list position diverge)."""
         cri = yield from self.get_instance_dedicated()
-        return cri.index
+        return self.instances.index(cri)
 
     def round_robin_index(self):
         """Generator: next round-robin index (Algorithm 2's fallback scan)."""

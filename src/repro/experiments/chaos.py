@@ -1,0 +1,96 @@
+"""Chaos exhibit: message-rate degradation under injected packet loss.
+
+The paper measures the designs on a healthy fabric; this exhibit asks
+how each one behaves when the fabric misbehaves.  A seeded
+:class:`repro.faults.FaultPlan` drops a fraction of packets at the
+delivery point; the reliable transport recovers every loss by
+retransmission, so the workload still completes with zero lost
+messages -- the cost shows up as elapsed virtual time.
+
+One series per design (serial vs concurrent progress at 1/10/20 CRIs),
+swept over drop rates.  The y axis is the achieved message rate; the
+``extra`` dict carries, per design, the retransmit count at each drop
+rate and the degradation ratio (rate at the highest drop rate over the
+fault-free rate).  Expected shape: designs with dedicated per-thread
+CRIs degrade most gracefully -- a retransmission stall on one CRI's
+connection does not convoy the other threads, whereas with a single
+shared CRI every sender queues behind the recovery.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ThreadingConfig
+from repro.experiments.testbeds import ALEMBERT, Testbed
+from repro.faults import drop_plan
+from repro.util.records import FigureResult, Series, SeriesPoint
+from repro.workloads.multirate import MultirateConfig, run_multirate
+
+#: drop-rate axis (fraction of data packets dropped at delivery)
+DROP_AXIS_QUICK = (0.0, 0.01, 0.05)
+DROP_AXIS_FULL = (0.0, 0.005, 0.01, 0.02, 0.05, 0.10)
+
+#: the designs under study: (label, progress mode, CRI count)
+DESIGNS = (
+    ("serial, 1 CRI", "serial", 1),
+    ("serial, 10 CRIs", "serial", 10),
+    ("serial, 20 CRIs", "serial", 20),
+    ("concurrent, 1 CRI", "concurrent", 1),
+    ("concurrent, 10 CRIs", "concurrent", 10),
+    ("concurrent, 20 CRIs", "concurrent", 20),
+)
+
+
+def run_chaos(quick: bool = True, testbed: Testbed = ALEMBERT,
+              drop_rates=None, designs=None, pairs: int | None = None,
+              fault_seed: int = 23) -> FigureResult:
+    """Message rate vs packet drop rate, per threading design.
+
+    ``drop_rates``/``designs``/``pairs`` override the defaults (the CLI
+    uses ``drop_rates`` for ``--drop-rate``, the tests shrink all
+    three).  Every run must finish with zero lost messages -- the
+    workload itself asserts that -- so any degradation measured here is
+    pure recovery cost, never silent loss.
+    """
+    if drop_rates is None:
+        drop_rates = DROP_AXIS_QUICK if quick else DROP_AXIS_FULL
+    designs = DESIGNS if designs is None else designs
+    pairs = pairs if pairs is not None else (8 if quick else 16)
+    window = 32 if quick else 64
+    windows = 2 if quick else 3
+
+    fig = FigureResult(
+        fig_id="chaos",
+        title=f"Message rate under packet loss ({pairs} pairs, dedicated CRIs)",
+        xlabel="packet drop rate",
+        ylabel="message rate (msg/s)",
+    )
+    retransmits: dict[str, dict[float, int]] = {}
+    degradation: dict[str, float] = {}
+    for label, progress, instances in designs:
+        threading = ThreadingConfig(num_instances=instances,
+                                    assignment="dedicated", progress=progress)
+        points = []
+        per_rate_rtx = {}
+        for rate in drop_rates:
+            cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+                                  comm_per_pair=True, seed=1)
+            # rate 0 still arms the reliable transport (frames + acks,
+            # completion deferred to ack) so every point on the axis pays
+            # the same protocol cost and the degradation is purely faults.
+            plan = drop_plan(rate, seed=fault_seed)
+            result = run_multirate(cfg, threading=threading,
+                                   costs=testbed.costs, fabric=testbed.fabric,
+                                   fault_plan=plan)
+            points.append(SeriesPoint(rate, result.message_rate))
+            per_rate_rtx[rate] = (result.faults["retransmits"]
+                                  if result.faults is not None else 0)
+        fig.series.append(Series(label, tuple(points)))
+        retransmits[label] = per_rate_rtx
+        baseline = points[0].mean
+        degradation[label] = points[-1].mean / baseline if baseline else 0.0
+    fig.extra["retransmits"] = retransmits
+    #: rate at the worst drop rate relative to the first axis point
+    fig.extra["degradation_ratio"] = degradation
+    fig.extra["testbed"] = testbed.name
+    fig.extra["fault_seed"] = fault_seed
+    return fig

@@ -15,6 +15,7 @@ from repro.experiments.extensions import (
     run_latency_tails,
     run_message_size_sweep,
 )
+from repro.experiments.chaos import run_chaos
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
@@ -67,6 +68,9 @@ EXPERIMENTS = {
     "ext-latency": Experiment("ext-latency",
                               "p99 delivery latency tails across designs",
                               lambda quick=True: run_latency_tails(quick=quick)),
+    "chaos": Experiment("chaos",
+                        "message-rate degradation under injected packet loss",
+                        lambda quick=True: run_chaos(quick=quick)),
 }
 
 

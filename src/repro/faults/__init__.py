@@ -1,0 +1,26 @@
+"""Fault injection and recovery for the simulated fabric (DESIGN.md S31).
+
+The package splits into the *description* (:mod:`repro.faults.plan`: a
+seeded, immutable :class:`FaultPlan` DSL) and the *wiring*
+(:mod:`repro.faults.install`); the mechanics live next to the hardware
+they model, in :mod:`repro.netsim.transport`.
+"""
+
+from repro.faults.install import install_faults, pending_work
+from repro.faults.plan import (
+    ContextFailure,
+    DegradeWindow,
+    FaultPlan,
+    RetransmitPolicy,
+    drop_plan,
+)
+
+__all__ = [
+    "ContextFailure",
+    "DegradeWindow",
+    "FaultPlan",
+    "RetransmitPolicy",
+    "drop_plan",
+    "install_faults",
+    "pending_work",
+]

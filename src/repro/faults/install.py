@@ -1,0 +1,64 @@
+"""Wiring a fault plan into a constructed world.
+
+:func:`install_faults` is the one call sites need: it attaches the plan's
+injector to the fabric (arming the reliable transport on every endpoint),
+schedules the plan's permanent context failures as virtual-time events,
+and optionally installs a scheduler watchdog that converts
+no-progress-under-pending-work into a diagnosable
+:class:`~repro.simthread.errors.StallError`.
+"""
+
+from __future__ import annotations
+
+from repro.simthread.watchdog import Watchdog
+
+
+def pending_work(world) -> int:
+    """Transport-visible pending work: queued CQ events + unacked frames.
+
+    The watchdog's "is anything actually outstanding?" probe: a stall is
+    only a stall if completions exist that nobody is extracting (or
+    frames in flight that will never be acked).
+    """
+    n = 0
+    for proc in world.processes:
+        for cri in proc.pool.instances:
+            n += len(cri.cq)
+    injector = world.fabric.faults
+    if injector is not None:
+        n += max(injector.stats.in_flight, 0)
+    return n
+
+
+def _kill_context(world, failure) -> None:
+    """Virtual-time callback: permanently fail one rank's CRI context."""
+    proc = world.processes[failure.rank]
+    survivor = proc.pool.fail_instance(failure.instance)
+    injector = world.fabric.faults
+    if injector is not None:
+        injector.stats.context_kills += 1
+        injector.trace_instant("context-kill", {
+            "rank": failure.rank, "instance": failure.instance,
+            "survivor": survivor.index if survivor is not None else None})
+
+
+def install_faults(world, plan, watchdog_ns: int | None = None):
+    """Attach ``plan`` (may be ``None``) to ``world``; returns the injector.
+
+    With ``plan=None`` the fabric stays on the exact pre-fault code path
+    (byte-identical outputs); ``watchdog_ns`` can still be set alone to
+    guard a fault-free run.
+    """
+    injector = world.fabric.attach_faults(plan)
+    if plan is not None:
+        for failure in plan.context_failures:
+            if not 0 <= failure.rank < world.nprocs:
+                raise ValueError(f"context failure names rank {failure.rank}, "
+                                 f"but the world has {world.nprocs} ranks")
+            world.sched.call_at(failure.at_ns, _kill_context, world, failure)
+    if watchdog_ns is not None:
+        watchdog = Watchdog(world.sched, watchdog_ns,
+                            pending=lambda: pending_work(world))
+        world.watchdog = watchdog
+        world.sched.set_watchdog(watchdog)
+    return injector

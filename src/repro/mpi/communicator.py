@@ -11,14 +11,20 @@ matching lock per thread pair.
 from __future__ import annotations
 
 from repro.mpi.constants import ANY_SOURCE
-from repro.mpi.errors import CommunicatorError, RankError
+from repro.mpi.errors import (
+    ERRHANDLERS,
+    ERRORS_ARE_FATAL,
+    CommunicatorError,
+    RankError,
+)
 from repro.mpi.info import Info
 
 
 class Communicator:
     """Global communicator descriptor."""
 
-    __slots__ = ("world", "id", "ranks", "info", "name", "_rank_set")
+    __slots__ = ("world", "id", "ranks", "info", "name", "_rank_set",
+                 "errhandler")
 
     def __init__(self, world, comm_id: int, ranks: tuple[int, ...],
                  info: Info | None = None, name: str = ""):
@@ -32,6 +38,16 @@ class Communicator:
         self._rank_set = frozenset(ranks)
         self.info = info or Info()
         self.name = name or f"comm-{comm_id}"
+        #: MPI_ERRORS_ARE_FATAL analogue (the MPI default): transport
+        #: failures raise out of the progress engine and abort the run.
+        self.errhandler = ERRORS_ARE_FATAL
+
+    def set_errhandler(self, handler: str) -> None:
+        """MPI_Comm_set_errhandler analogue; see :mod:`repro.mpi.errors`."""
+        if handler not in ERRHANDLERS:
+            raise ValueError(f"errhandler must be one of {ERRHANDLERS}, "
+                             f"got {handler!r}")
+        self.errhandler = handler
 
     # ------------------------------------------------------------------
     @property

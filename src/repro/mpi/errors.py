@@ -1,27 +1,94 @@
-"""MPI-level error types."""
+"""MPI-level error types, error codes, and error-handler constants.
+
+Every error class carries an MPI-style integer ``code`` (the values
+follow MPICH's numbering where one exists) so error handlers can switch
+on codes the way real MPI applications do; :func:`error_class` maps a
+code back to the exception class (the round trip MPI spells
+``MPI_Error_class``).
+
+Communicators carry an *error handler* analogue: with
+:data:`ERRORS_ARE_FATAL` (the MPI default) a transport failure aborts
+the run by raising from the progress engine; with :data:`ERRORS_RETURN`
+the failure is recorded on the affected request/operation and surfaces
+from ``wait``/``flush`` at the caller.
+"""
+
+MPI_SUCCESS = 0
+MPI_ERR_TAG = 4
+MPI_ERR_COMM = 5
+MPI_ERR_RANK = 6
+MPI_ERR_UNKNOWN = 14
+MPI_ERR_TRUNCATE = 15
+MPI_ERR_OTHER = 16
+MPI_ERR_RMA_SYNC = 51
+
+#: communicator error-handler analogues (MPI_Comm_set_errhandler)
+ERRORS_ARE_FATAL = "errors-are-fatal"
+ERRORS_RETURN = "errors-return"
+ERRHANDLERS = (ERRORS_ARE_FATAL, ERRORS_RETURN)
 
 
 class MpiError(Exception):
     """Base class for MPI usage/semantic errors."""
 
+    code = MPI_ERR_UNKNOWN
+
 
 class RankError(MpiError):
     """A rank argument is not a member of the communicator."""
+
+    code = MPI_ERR_RANK
 
 
 class TagError(MpiError):
     """A tag argument is outside the valid range for the call."""
 
+    code = MPI_ERR_TAG
+
 
 class CommunicatorError(MpiError):
     """Invalid communicator construction or use."""
+
+    code = MPI_ERR_COMM
 
 
 class TruncationError(MpiError):
     """A received message was longer than the posted receive buffer
     (MPI_ERR_TRUNCATE)."""
 
+    code = MPI_ERR_TRUNCATE
+
 
 class EpochError(MpiError):
     """A one-sided operation was issued outside an access epoch, or epoch
     calls were mismatched (MPI_ERR_RMA_SYNC)."""
+
+    code = MPI_ERR_RMA_SYNC
+
+
+class TransportError(MpiError):
+    """A message or RMA operation exhausted its retransmission budget
+    (MPI_ERR_OTHER): the reliable transport gave up and surfaced an
+    error completion."""
+
+    code = MPI_ERR_OTHER
+
+
+#: code -> most specific exception class carrying it
+_ERROR_CLASSES = {
+    MPI_ERR_RANK: RankError,
+    MPI_ERR_TAG: TagError,
+    MPI_ERR_COMM: CommunicatorError,
+    MPI_ERR_TRUNCATE: TruncationError,
+    MPI_ERR_RMA_SYNC: EpochError,
+    MPI_ERR_OTHER: TransportError,
+    MPI_ERR_UNKNOWN: MpiError,
+}
+
+
+def error_class(code: int):
+    """The exception class for an MPI error code (MPI_Error_class)."""
+    try:
+        return _ERROR_CLASSES[code]
+    except KeyError:
+        raise ValueError(f"unknown MPI error code {code}") from None

@@ -229,7 +229,15 @@ class MatchingEngine:
             src = env.src
             expected = self.expected_seq.get(src, 0)
             work += costs.seq_validate_ns
-            if env.seq != expected:
+            if env.seq < expected:
+                # Stale sequence number: a duplicate delivery (the
+                # reliable transport's retransmission raced its ack).
+                # Buffering it would wedge the out-of-sequence drain, so
+                # the existing per-(peer, comm) numbers double as the
+                # receiver-side dedup: drop it on the floor.
+                self.spc.duplicates_dropped += 1
+                outcome = "duplicate"
+            elif env.seq != expected:
                 # Out of sequence: allocate and stash for later.
                 buf = self.oos_buffer.setdefault(src, {})
                 buf[env.seq] = env

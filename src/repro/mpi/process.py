@@ -17,9 +17,15 @@ from repro.core.pool import CRIPool
 from repro.core.progress import make_progress_engine
 from repro.mpi.matching import CommState
 from repro.mpi.rendezvous import RendezvousManager
+from repro.mpi.errors import ERRORS_RETURN, TransportError
 from repro.mpi.request import Status
 from repro.mpi.spc import SPC
-from repro.netsim.cq import RecvArrival, RmaCompletion, SendCompletion
+from repro.netsim.cq import (
+    RecvArrival,
+    RmaCompletion,
+    SendCompletion,
+    TransportFailure,
+)
 from repro.netsim.message import CTS, DATA
 from repro.simthread.scheduler import Delay
 from repro.util.latency import LatencyHistogram
@@ -37,6 +43,11 @@ class MpiProcess:
         self.costs = costs
         self.spc = SPC()
         self.pool = CRIPool(world.sched, nic, config, costs, lock_fairness)
+        # The transport and the pool count retransmits/migrations into
+        # this process's SPC.
+        self.pool.spc = self.spc
+        for cri in self.pool.instances:
+            cri.context.spc = self.spc
         self.rndv = RendezvousManager(self)
         #: end-to-end latency of messages delivered at this process
         self.latency = LatencyHistogram()
@@ -140,6 +151,9 @@ class MpiProcess:
     # ------------------------------------------------------------------
     def _dispatch(self, event):
         """Generator: handle one completion event; returns completions."""
+        watchdog = self.world.watchdog
+        if watchdog is not None:
+            watchdog.note()
         if type(event) is RecvArrival:
             env = event.envelope
             if env.kind == CTS:
@@ -165,7 +179,45 @@ class MpiProcess:
                 notify()
             yield Delay(self.costs.request_complete_ns)
             return 1
+        if type(event) is TransportFailure:
+            yield from self._dispatch_transport_failure(event)
+            return 1
         raise TypeError(f"unknown completion event {event!r}")
+
+    def _dispatch_transport_failure(self, event):
+        """Generator: surface a transport error completion.
+
+        The owning communicator's error handler decides: ERRORS_ARE_FATAL
+        (the default) raises here, aborting the run from the progress
+        engine with a diagnosable :class:`TransportError`; ERRORS_RETURN
+        fails the originating request/operation so the error surfaces
+        from ``wait``/``flush`` at the caller.
+        """
+        env, op = event.envelope, event.op
+        if env is not None:
+            error = TransportError(
+                f"send {env.src}->{env.dst} (comm={env.comm_id}, tag={env.tag}, "
+                f"seq={env.seq}, kind={env.kind}): {event.reason}")
+            comm = self.world.comm_by_id(env.comm_id)
+            if comm.errhandler != ERRORS_RETURN:
+                raise error
+            if env.send_request is not None and not env.send_request.completed:
+                env.send_request._fail(error, self.sched.now)
+            yield Delay(self.costs.request_complete_ns)
+            return
+        error = TransportError(
+            f"rma {op.kind} of {op.nbytes} bytes: {event.reason}")
+        window = getattr(op, "window", None)
+        if window is None or window.comm.errhandler != ERRORS_RETURN:
+            raise error
+        op.error = error
+        window.note_error(op.origin, error)
+        # Retire through the hardware-counter path so flush terminates
+        # (and then reports the recorded error).
+        op.mark_completed(self.sched.now)
+        if op.on_completed is not None:
+            op.on_completed()
+        yield Delay(self.costs.request_complete_ns)
 
     def _deliver_rndv_data(self, env):
         """Generator: a pre-matched DATA fragment completes its receive."""

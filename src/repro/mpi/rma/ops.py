@@ -145,6 +145,9 @@ def flush(env, win, target: int | None = None):
             yield Delay(costs.rma_flush_backoff_ns if n == 0 else costs.wait_poll_ns)
     if traced:
         trc.end(tid)
+    errors = win.take_errors(env.rank)
+    if errors:
+        raise errors[0]
 
 
 def win_lock(env, win, target: int, exclusive: bool = False):

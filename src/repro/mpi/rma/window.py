@@ -57,6 +57,8 @@ class Window:
         self._pending: dict[int, set] = {rank: set() for rank in comm.ranks}
         # per-initiator epoch state: set of target ranks (or "all"/"fence")
         self._epochs: dict[int, set] = {rank: set() for rank in comm.ranks}
+        # per-initiator transport errors awaiting the next flush
+        self._errors: dict[int, list] = {rank: [] for rank in comm.ranks}
 
     # ------------------------------------------------------------------
     def buffer(self, rank: int) -> np.ndarray:
@@ -108,6 +110,16 @@ class Window:
         if target is None:
             return len(ops)
         return sum(1 for op in ops if op.target == target)
+
+    def note_error(self, origin: int, error: Exception) -> None:
+        """Record a transport failure for ``origin``'s next flush
+        (ERRORS_RETURN path; see :meth:`MpiProcess._dispatch`)."""
+        self._errors[origin].append(error)
+
+    def take_errors(self, origin: int) -> list:
+        """Drain and return the errors recorded for ``origin``."""
+        errors, self._errors[origin] = self._errors[origin], []
+        return errors
 
     def __repr__(self):  # pragma: no cover - debug aid
         return f"<Window id={self.id} size={self.size_bytes}B comm={self.comm.name}>"

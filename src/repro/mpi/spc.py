@@ -34,6 +34,14 @@ class SPC:
     match_migrations: int = 0
     #: sends routed through the rendezvous (RTS/CTS/DATA) protocol
     rendezvous_sends: int = 0
+    #: reliable-transport frames retransmitted after a timeout
+    retransmits: int = 0
+    #: frames abandoned after the retry budget (error completions)
+    transport_exhausted: int = 0
+    #: duplicate deliveries discarded (transport dedup + stale sequence)
+    duplicates_dropped: int = 0
+    #: dedicated-CRI assignments re-run because the instance died
+    cri_migrations: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place (MPI_T pvar reset semantics).
@@ -79,6 +87,10 @@ class SPC:
             "rma_flushes": self.rma_flushes,
             "match_migrations": self.match_migrations,
             "rendezvous_sends": self.rendezvous_sends,
+            "retransmits": self.retransmits,
+            "transport_exhausted": self.transport_exhausted,
+            "duplicates_dropped": self.duplicates_dropped,
+            "cri_migrations": self.cri_migrations,
         }
 
 
@@ -109,6 +121,10 @@ class SPCAggregate:
             out.rma_flushes += c.rma_flushes
             out.match_migrations += c.match_migrations
             out.rendezvous_sends += c.rendezvous_sends
+            out.retransmits += c.retransmits
+            out.transport_exhausted += c.transport_exhausted
+            out.duplicates_dropped += c.duplicates_dropped
+            out.cri_migrations += c.cri_migrations
             out.oos_buffered_high_watermark = max(
                 out.oos_buffered_high_watermark, c.oos_buffered_high_watermark)
             out.unexpected_high_watermark = max(

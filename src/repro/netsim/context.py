@@ -26,6 +26,19 @@ class NetworkContext:
         self._endpoints: dict = {}
         self.sends_posted = 0
         self.rma_posted = 0
+        #: owning process's SPC (set by the MPI layer; ``None`` standalone)
+        self.spc = None
+        #: permanently dead (fault plan killed this context)
+        self.failed = False
+        #: surviving context that inherits this one's traffic once dead
+        self.failover = None
+
+    def live(self) -> "NetworkContext":
+        """This context, or its failover chain's surviving end."""
+        ctx = self
+        while ctx.failed and ctx.failover is not None:
+            ctx = ctx.failover
+        return ctx
 
     @property
     def fabric(self):
@@ -59,16 +72,23 @@ class NetworkContext:
         envelope.sent_at = sched.now
         self.sends_posted += 1
         start, done = self.nic.injection_window(self, envelope.wire_bytes)
-        if envelope.send_request is not None:
-            sched.call_at(done, self.cq.push, SendCompletion(envelope.send_request))
-        deliver_at = endpoint.fifo_delivery_time(done + self.fabric.wire_delay())
-        sched.call_at(deliver_at, endpoint.dst_ctx.deliver, envelope)
+        faults = self.fabric.faults
+        if faults is not None:
+            # Reliable mode: the frame layer schedules delivery/ack/
+            # retransmit; local completion is deferred to the ack.
+            endpoint.reliable(faults).send_envelope(envelope, done)
+        else:
+            if envelope.send_request is not None:
+                sched.call_at(done, self.cq.push, SendCompletion(envelope.send_request))
+            deliver_at = endpoint.fifo_delivery_time(done + self.fabric.wire_delay())
+            sched.call_at(deliver_at, endpoint.dst_ctx.deliver, envelope)
         yield Delay(self.fabric.params.doorbell_ns)
 
     def deliver(self, envelope) -> None:
         """Delivery callback: the wire handed us a message."""
-        envelope.arrived_at = self.sched.now
-        self.cq.push(RecvArrival(envelope))
+        target = self.live()
+        envelope.arrived_at = target.sched.now
+        target.cq.push(RecvArrival(envelope))
 
     # ------------------------------------------------------------------
     def post_rma(self, endpoint, op):
@@ -83,18 +103,23 @@ class NetworkContext:
         self.rma_posted += 1
         op.issued_at = sched.now
         start, done = self.nic.injection_window(self, op.wire_bytes)
-        remote_at = done + self.fabric.wire_delay()
-        sched.call_at(remote_at, op.apply_remote)
         if op.is_get:
             # data travels back: ack latency plus payload serialization
-            ack_at = remote_at + params.rdma_ack_latency_ns + int(op.nbytes * params.per_byte_ns)
+            ack_extra = params.rdma_ack_latency_ns + int(op.nbytes * params.per_byte_ns)
         else:
-            ack_at = remote_at + params.rdma_ack_latency_ns
-        # RMA acks complete through a hardware counter (uGNI/Verbs style),
-        # not through software CQ processing: no progress-engine thread is
-        # needed to retire them -- the reason the paper finds "little
-        # benefit from concurrent progress" on the one-sided path.
-        sched.call_at(ack_at, self._complete_rma, op)
+            ack_extra = params.rdma_ack_latency_ns
+        faults = self.fabric.faults
+        if faults is not None:
+            endpoint.reliable(faults).send_op(op, done, ack_extra)
+        else:
+            remote_at = done + self.fabric.wire_delay()
+            sched.call_at(remote_at, op.apply_remote)
+            # RMA acks complete through a hardware counter (uGNI/Verbs
+            # style), not through software CQ processing: no progress-
+            # engine thread is needed to retire them -- the reason the
+            # paper finds "little benefit from concurrent progress" on
+            # the one-sided path.
+            sched.call_at(remote_at + ack_extra, self._complete_rma, op)
         yield Delay(params.doorbell_ns)
 
     def _complete_rma(self, op) -> None:

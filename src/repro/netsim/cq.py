@@ -39,6 +39,23 @@ class RmaCompletion:
         self.op = op
 
 
+class TransportFailure:
+    """Error completion: a frame exhausted its retransmission budget.
+
+    Exactly one of ``envelope`` / ``op`` is set (whichever the dead frame
+    carried).  The netsim layer cannot name MPI error types, so the event
+    carries the raw facts and the MPI dispatcher builds the
+    ``TransportError`` (honouring the communicator's error handler).
+    """
+
+    __slots__ = ("envelope", "op", "reason")
+
+    def __init__(self, envelope=None, op=None, reason: str = ""):
+        self.envelope = envelope
+        self.op = op
+        self.reason = reason
+
+
 class CompletionQueue:
     """FIFO of completion events for one network context."""
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 class Endpoint:
     """A unidirectional src-context -> dst-context connection."""
 
-    __slots__ = ("src_ctx", "dst_ctx", "last_delivery_at", "fifo", "messages")
+    __slots__ = ("src_ctx", "dst_ctx", "last_delivery_at", "fifo", "messages",
+                 "rel")
 
     def __init__(self, src_ctx, dst_ctx, fifo: bool = True):
         self.src_ctx = src_ctx
@@ -21,6 +22,17 @@ class Endpoint:
         self.last_delivery_at: int = 0
         self.fifo = fifo
         self.messages = 0
+        #: lazily-built :class:`~repro.netsim.transport.ReliableLink`
+        #: (only when the fabric carries a fault plan)
+        self.rel = None
+
+    def reliable(self, injector):
+        """This connection's reliable-transport state (built on first use)."""
+        if self.rel is None:
+            from repro.netsim.transport import ReliableLink
+
+            self.rel = ReliableLink(self, injector)
+        return self.rel
 
     def fifo_delivery_time(self, computed_at: int) -> int:
         """Clamp a computed delivery time to preserve connection order."""

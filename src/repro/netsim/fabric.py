@@ -65,6 +65,24 @@ class Fabric:
         self.sched = sched
         self.params = params
         self.nics: list = []
+        #: :class:`~repro.netsim.transport.FaultInjector` when a fault
+        #: plan is attached; ``None`` keeps the perfect-fabric fast path.
+        self.faults = None
+
+    def attach_faults(self, plan):
+        """Arm (or, with ``None``, disarm) the reliable transport.
+
+        Returns the installed injector (or ``None``).  Must be called
+        before traffic flows: frames and plain deliveries do not mix on
+        one endpoint.
+        """
+        if plan is None:
+            self.faults = None
+        else:
+            from repro.netsim.transport import FaultInjector
+
+            self.faults = FaultInjector(self, plan)
+        return self.faults
 
     def create_nic(self):
         from repro.netsim.nic import Nic

@@ -28,7 +28,8 @@ class RmaOp:
     """
 
     __slots__ = ("kind", "nbytes", "remote_fn", "result", "issued_at",
-                 "remote_applied_at", "completed", "tagdata", "on_completed")
+                 "remote_applied_at", "completed", "tagdata", "on_completed",
+                 "error")
 
     def __init__(self, kind: str, nbytes: int, remote_fn=None, tagdata=None):
         if kind not in _KINDS:
@@ -45,6 +46,8 @@ class RmaOp:
         self.tagdata = tagdata
         #: optional callback fired at hardware-counter completion
         self.on_completed = None
+        #: transport failure that killed this op (retry budget exhausted)
+        self.error: Exception | None = None
 
     @property
     def is_get(self) -> bool:

@@ -51,6 +51,11 @@ _RMAMT = {
     "fig6": "TRINITITE_HASWELL",
     "fig7": "TRINITITE_KNL",
 }
+#: chaos spec: a concurrent-matching multirate run under packet loss --
+#: the trace gains a "faults" track with drop/retransmit instants.
+_CHAOS = {
+    "chaos": 0.02,  # representative drop rate
+}
 
 #: representative multirate shape: mid-size, enough pairs to contend.
 PAIRS = 8
@@ -61,7 +66,7 @@ INSTANCES = 20
 
 def traceable_ids() -> list[str]:
     """Experiment ids that have a representative traced scenario."""
-    return sorted(_MULTIRATE) + sorted(_RMAMT)
+    return sorted(_MULTIRATE) + sorted(_RMAMT) + sorted(_CHAOS)
 
 
 def traced_run(exp_id: str, seed: int = 1,
@@ -72,7 +77,7 @@ def traced_run(exp_id: str, seed: int = 1,
     Returns the :class:`TracedRun`; the tracer's export is byte-identical
     for identical ``(exp_id, seed, metrics_interval_ns)`` inputs.
     """
-    if exp_id not in _MULTIRATE and exp_id not in _RMAMT:
+    if exp_id not in _MULTIRATE and exp_id not in _RMAMT and exp_id not in _CHAOS:
         raise KeyError(f"experiment {exp_id!r} has no traced scenario; "
                        f"traceable: {traceable_ids()}")
 
@@ -85,11 +90,19 @@ def traced_run(exp_id: str, seed: int = 1,
             captured["metrics"] = MetricsRegistry(
                 world, interval_ns=metrics_interval_ns)
 
-    if exp_id in _MULTIRATE:
+    if exp_id in _MULTIRATE or exp_id in _CHAOS:
         from repro.experiments.testbeds import ALEMBERT
         from repro.workloads.multirate import MultirateConfig, run_multirate
 
-        progress, comm_per_pair, overtaking, any_tag = _MULTIRATE[exp_id]
+        fault_plan = None
+        if exp_id in _CHAOS:
+            from repro.faults import drop_plan
+
+            progress, comm_per_pair, overtaking, any_tag = (
+                "concurrent", True, False, False)
+            fault_plan = drop_plan(_CHAOS[exp_id], seed=seed)
+        else:
+            progress, comm_per_pair, overtaking, any_tag = _MULTIRATE[exp_id]
         cfg = MultirateConfig(pairs=PAIRS, window=WINDOW, windows=WINDOWS,
                               msg_bytes=0, comm_per_pair=comm_per_pair,
                               allow_overtaking=overtaking, any_tag=any_tag,
@@ -97,7 +110,8 @@ def traced_run(exp_id: str, seed: int = 1,
         threading = ThreadingConfig(num_instances=INSTANCES,
                                     assignment="dedicated", progress=progress)
         result = run_multirate(cfg, threading=threading, costs=ALEMBERT.costs,
-                               fabric=ALEMBERT.fabric, instrument=instrument)
+                               fabric=ALEMBERT.fabric, instrument=instrument,
+                               fault_plan=fault_plan)
         elapsed = result.elapsed_ns
     else:
         from repro.experiments import testbeds

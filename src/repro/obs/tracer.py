@@ -79,7 +79,7 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 #: Export process ids per track kind (grouping in the Perfetto UI).
-TRACK_PIDS = {"thread": 1, "lock": 2, "cri": 3, "queue": 4}
+TRACK_PIDS = {"thread": 1, "lock": 2, "cri": 3, "queue": 4, "fault": 5}
 DEFAULT_PID = 9
 
 

@@ -100,6 +100,7 @@ class Scheduler:
         self._nparked = 0
         self._failure: BaseException | None = None
         self._sampler = None
+        self._watchdog = None
 
     @property
     def now(self) -> int:
@@ -121,6 +122,16 @@ class Scheduler:
         without keeping the event heap artificially alive.
         """
         self._sampler = sampler
+
+    def set_watchdog(self, watchdog) -> None:
+        """Install (or, with ``None``, remove) a no-progress watchdog.
+
+        Same event-loop contract as :meth:`set_sampler`: the watchdog
+        exposes ``due`` and ``check(now)``, and ``check`` may raise (a
+        :class:`~repro.simthread.errors.StallError`) to abort the run.
+        See :class:`repro.simthread.watchdog.Watchdog`.
+        """
+        self._watchdog = watchdog
 
     # ------------------------------------------------------------------
     # thread lifecycle
@@ -199,6 +210,8 @@ class Scheduler:
             self.events_processed += 1
             if self._sampler is not None and when >= self._sampler.due:
                 self._sampler.sample(when)
+            if self._watchdog is not None and when >= self._watchdog.due:
+                self._watchdog.check(when)
             if max_events is not None and self.events_processed > max_events:
                 raise SimThreadError(f"exceeded max_events={max_events} (runaway simulation?)")
             if isinstance(item, _Callback):

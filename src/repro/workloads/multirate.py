@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.config import CostModel, ThreadingConfig
+from repro.faults import install_faults
 from repro.mpi.constants import ANY_TAG
 from repro.mpi.info import ALLOW_OVERTAKING, Info
 from repro.mpi.spc import SPC
@@ -70,6 +71,8 @@ class MultirateResult:
     per_pair_received: list = field(default_factory=list)
     #: end-to-end delivery latency summary (count/mean/p50/p99/min/max, ns)
     latency: dict = field(default_factory=dict)
+    #: reliable-transport tallies when a fault plan was installed
+    faults: dict | None = None
 
     @property
     def messages(self) -> int:
@@ -103,19 +106,26 @@ def run_multirate(cfg: MultirateConfig,
                   costs: CostModel | None = None,
                   fabric: FabricParams | None = None,
                   lock_fairness: str = "unfair",
-                  instrument=None) -> MultirateResult:
+                  instrument=None,
+                  fault_plan=None,
+                  watchdog_ns: int | None = None) -> MultirateResult:
     """Execute one Multirate-pairwise run and return its result.
 
     ``instrument`` is an optional ``fn(sched, world)`` called after world
     construction and before any thread is spawned; the observability
     layer uses it to attach a :class:`repro.obs.Tracer` and/or a
     :class:`repro.obs.MetricsRegistry` without changing the run itself.
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) arms the reliable
+    transport; ``watchdog_ns`` installs a no-progress watchdog.  With
+    both ``None`` the run is byte-identical to the pre-fault code path.
     """
     sched = Scheduler(seed=cfg.seed)
     nprocs, placement = world_shape(cfg.entity_mode, cfg.pairs)
     world = MpiWorld(sched, nprocs=nprocs, nodes=2, config=threading,
                      costs=costs, fabric_params=fabric, placement=placement,
                      lock_fairness=lock_fairness)
+    if fault_plan is not None or watchdog_ns is not None:
+        install_faults(world, fault_plan, watchdog_ns=watchdog_ns)
     if instrument is not None:
         instrument(sched, world)
     info = Info({ALLOW_OVERTAKING: True}) if cfg.allow_overtaking else None
@@ -148,4 +158,6 @@ def run_multirate(cfg: MultirateConfig,
         events_processed=sched.events_processed,
         per_pair_received=counters,
         latency=world.latency_total().summary(),
+        faults=(world.fabric.faults.stats.as_dict()
+                if world.fabric.faults is not None else None),
     )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.config import CostModel, ThreadingConfig
+from repro.faults import install_faults
 from repro.mpi.world import MpiWorld
 from repro.netsim.fabric import FabricParams
 from repro.simthread.scheduler import Scheduler
@@ -58,6 +59,8 @@ class RmaMtResult:
     elapsed_ns: int
     events_processed: int
     peak_rate: float   #: the fabric's theoretical peak for this size
+    #: reliable-transport tallies when a fault plan was installed
+    faults: dict | None = None
 
 
 def _worker(env, win, cfg: RmaMtConfig):
@@ -76,15 +79,21 @@ def run_rmamt(cfg: RmaMtConfig,
               threading: ThreadingConfig | None = None,
               costs: CostModel | None = None,
               fabric: FabricParams | None = None,
-              instrument=None) -> RmaMtResult:
+              instrument=None,
+              fault_plan=None,
+              watchdog_ns: int | None = None) -> RmaMtResult:
     """Execute one RMA-MT run and return its result.
 
     ``instrument`` is an optional ``fn(sched, world)`` hook used by
-    ``repro.obs`` to attach tracing/metrics (see ``run_multirate``).
+    ``repro.obs`` to attach tracing/metrics (see ``run_multirate``);
+    ``fault_plan``/``watchdog_ns`` arm the reliable transport and the
+    no-progress watchdog (see ``run_multirate``).
     """
     sched = Scheduler(seed=cfg.seed)
     world = MpiWorld(sched, nprocs=2, nodes=2, config=threading, costs=costs,
                      fabric_params=fabric)
+    if fault_plan is not None or watchdog_ns is not None:
+        install_faults(world, fault_plan, watchdog_ns=watchdog_ns)
     if instrument is not None:
         instrument(sched, world)
     env0 = world.env(0, "rmamt-main")
@@ -104,4 +113,6 @@ def run_rmamt(cfg: RmaMtConfig,
         elapsed_ns=elapsed,
         events_processed=sched.events_processed,
         peak_rate=world.fabric.params.peak_message_rate(cfg.msg_bytes),
+        faults=(world.fabric.faults.stats.as_dict()
+                if world.fabric.faults is not None else None),
     )

@@ -1,0 +1,53 @@
+"""The chaos exhibit: degradation table under injected packet loss."""
+
+from repro.experiments.chaos import DESIGNS, run_chaos
+
+TINY_DESIGNS = (
+    ("serial, 1 CRI", "serial", 1),
+    ("concurrent, 10 CRIs", "concurrent", 10),
+)
+TINY_RATES = (0.0, 0.05)
+
+
+def run_tiny(**kwargs):
+    return run_chaos(drop_rates=TINY_RATES, designs=TINY_DESIGNS, pairs=2,
+                     **kwargs)
+
+
+def test_chaos_produces_one_series_per_design():
+    fig = run_tiny()
+    assert fig.fig_id == "chaos"
+    assert fig.labels == [label for label, _, _ in TINY_DESIGNS]
+    for series in fig.series:
+        assert series.xs == TINY_RATES
+        assert all(m > 0 for m in series.means)
+
+
+def test_chaos_reports_retransmits_and_degradation():
+    fig = run_tiny()
+    for label, _, _ in TINY_DESIGNS:
+        rtx = fig.extra["retransmits"][label]
+        assert rtx[0.0] == 0           # armed transport, but nothing dropped
+        assert rtx[0.05] > 0
+        assert fig.extra["degradation_ratio"][label] > 0
+    assert fig.extra["fault_seed"] == 23
+
+
+def test_chaos_is_deterministic():
+    a, b = run_tiny(), run_tiny()
+    assert a.to_csv() == b.to_csv()
+    assert a.extra["retransmits"] == b.extra["retransmits"]
+
+
+def test_chaos_default_designs_cover_the_paper_grid():
+    labels = [label for label, _, _ in DESIGNS]
+    assert len(labels) == 6
+    for instances in (1, 10, 20):
+        assert any(f"{instances} CRI" in lab for lab in labels)
+
+
+def test_chaos_csv_is_long_form():
+    csv = run_tiny().to_csv()
+    assert csv.splitlines()[0] == "fig,series,x,mean,std"
+    # one row per (design, drop rate) plus header
+    assert len(csv.strip().splitlines()) == 1 + len(TINY_DESIGNS) * len(TINY_RATES)

@@ -1,0 +1,120 @@
+"""CRI failover: context death, pool drain, dedicated re-assignment."""
+
+import pytest
+
+from repro.core import ThreadingConfig
+from repro.faults import ContextFailure, FaultPlan, drop_plan, install_faults
+from repro.mpi.world import MpiWorld
+from repro.simthread import Delay, Scheduler
+from repro.workloads.multirate import MultirateConfig, run_multirate
+
+DEDICATED_10 = ThreadingConfig(num_instances=10, assignment="dedicated",
+                               progress="concurrent")
+
+
+def make_world(sched, instances=4):
+    return MpiWorld(sched, nprocs=2,
+                    config=ThreadingConfig(num_instances=instances,
+                                           assignment="dedicated"))
+
+
+def test_fail_instance_shrinks_pool_and_sets_failover(sched):
+    pool = make_world(sched, instances=4).processes[0].pool
+    victim = pool.instances[1]
+    survivor = pool.fail_instance(1)
+    assert len(pool) == 3
+    assert victim.dead and victim.context.failed
+    assert victim not in pool.instances
+    assert survivor in pool.instances
+    assert victim.context.failover is survivor.context
+    assert victim.context.live() is survivor.context
+    assert pool.failed_instances == [victim]
+
+
+def test_fail_instance_drains_cq_into_survivor(sched):
+    pool = make_world(sched, instances=3).processes[0].pool
+    victim = pool.instances[0]
+    victim.cq.push("pending-event")
+    survivor = pool.fail_instance(0)
+    assert len(victim.cq) == 0
+    assert "pending-event" in survivor.cq.poll()
+    assert pool.drained_events == 1
+
+
+def test_fail_instance_is_idempotent_and_guards_last_survivor(sched):
+    pool = make_world(sched, instances=2).processes[0].pool
+    assert pool.fail_instance(0) is not None
+    assert pool.fail_instance(0) is None      # already dead
+    assert pool.fail_instance(99) is None     # unknown index
+    with pytest.raises(RuntimeError, match="last surviving"):
+        pool.fail_instance(1)
+
+
+def test_dedicated_assignment_migrates_off_dead_instance(sched):
+    world = make_world(sched, instances=3)
+    pool = world.processes[0].pool
+    picks = []
+
+    def worker():
+        cri = yield from pool.get_instance()
+        picks.append(cri)
+        yield Delay(1000)
+        cri = yield from pool.get_instance()
+        picks.append(cri)
+
+    sched.spawn(worker())
+    # first touch assigns instance 0; kill it while the worker sleeps
+    sched.call_at(500, pool.fail_instance, 0)
+    sched.run()
+    first, second = picks
+    assert first.index == 0 and first.dead
+    assert second is not first and not second.dead
+    assert pool.migrations == 1
+
+
+def test_dedicated_index_is_live_list_position(sched):
+    pool = make_world(sched, instances=3).processes[0].pool
+    out = []
+
+    def worker():
+        idx = yield from pool.dedicated_index()
+        out.append(idx)
+        pool.fail_instance(0)
+        idx = yield from pool.dedicated_index()
+        out.append(idx)
+
+    sched.spawn(worker())
+    sched.run()
+    first, second = out
+    assert first == 0
+    # after instance 0 dies the thread migrated; the returned position
+    # must index the *live* list so Algorithm 2 can use it directly
+    assert 0 <= second < len(pool.instances)
+
+
+def test_context_kill_mid_run_completes_with_migration():
+    plan = FaultPlan(seed=3, context_failures=(
+        ContextFailure(at_ns=50_000, rank=0, instance=1),))
+    cfg = MultirateConfig(pairs=4, window=32, windows=3)
+    result = run_multirate(cfg, threading=DEDICATED_10, fault_plan=plan)
+    assert sum(result.per_pair_received) == cfg.total_messages
+    assert result.faults["context_kills"] == 1
+    assert result.spc.cri_migrations >= 1
+
+
+def test_context_kill_under_packet_loss_still_recovers():
+    plan = drop_plan(0.02, seed=5).with_overrides(context_failures=(
+        ContextFailure(at_ns=40_000, rank=0, instance=0),
+        ContextFailure(at_ns=80_000, rank=1, instance=2),))
+    cfg = MultirateConfig(pairs=4, window=32, windows=3)
+    result = run_multirate(cfg, threading=DEDICATED_10, fault_plan=plan,
+                           watchdog_ns=50_000_000)
+    assert sum(result.per_pair_received) == cfg.total_messages
+    assert result.faults["context_kills"] == 2
+
+
+def test_install_faults_rejects_out_of_range_rank(sched):
+    world = make_world(sched)
+    plan = FaultPlan(context_failures=(ContextFailure(10, rank=9, instance=0),))
+    with pytest.raises(ValueError, match="rank 9"):
+        install_faults(world, plan)

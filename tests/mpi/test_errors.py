@@ -1,0 +1,62 @@
+"""MPI error codes: class attributes and the MPI_Error_class round trip."""
+
+import pytest
+
+from repro.mpi import errors
+from repro.mpi.errors import (
+    ERRHANDLERS,
+    ERRORS_ARE_FATAL,
+    ERRORS_RETURN,
+    CommunicatorError,
+    EpochError,
+    MpiError,
+    RankError,
+    TagError,
+    TransportError,
+    TruncationError,
+    error_class,
+)
+
+ALL_CLASSES = (MpiError, RankError, TagError, CommunicatorError,
+               TruncationError, EpochError, TransportError)
+
+
+def test_every_class_carries_a_code():
+    for cls in ALL_CLASSES:
+        assert isinstance(cls.code, int)
+        assert cls.code != errors.MPI_SUCCESS
+
+
+def test_codes_are_distinct_across_concrete_classes():
+    codes = [cls.code for cls in ALL_CLASSES]
+    assert len(set(codes)) == len(codes)
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES)
+def test_error_class_round_trips(cls):
+    assert error_class(cls.code) is cls
+
+
+def test_expected_mpich_numbering():
+    assert TruncationError.code == errors.MPI_ERR_TRUNCATE == 15
+    assert EpochError.code == errors.MPI_ERR_RMA_SYNC == 51
+    assert TransportError.code == errors.MPI_ERR_OTHER == 16
+    assert MpiError.code == errors.MPI_ERR_UNKNOWN == 14
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError, match="unknown MPI error code"):
+        error_class(9999)
+    with pytest.raises(ValueError):
+        error_class(errors.MPI_SUCCESS)  # success is not an error class
+
+
+def test_instances_inherit_the_class_code():
+    exc = TransportError("link died")
+    assert exc.code == errors.MPI_ERR_OTHER
+    assert isinstance(exc, MpiError)
+
+
+def test_errhandler_constants():
+    assert ERRHANDLERS == (ERRORS_ARE_FATAL, ERRORS_RETURN)
+    assert ERRORS_ARE_FATAL != ERRORS_RETURN

@@ -48,6 +48,18 @@ def test_aries_context_limit_enforced():
         nic.create_context()
 
 
+def test_aries_preset_caps_contexts_at_120():
+    # the unmodified preset: Aries FMA descriptors (the paper's hardware
+    # reason dedicated CRIs cannot grow without bound)
+    sched = Scheduler()
+    nic = Fabric(sched, ARIES).create_nic()
+    for _ in range(120):
+        nic.create_context()
+    with pytest.raises(ContextLimitError, match="at most 120"):
+        nic.create_context()
+    assert len(nic.contexts) == 120
+
+
 def test_ib_has_no_context_limit():
     sched = Scheduler()
     nic = Fabric(sched, IB_EDR).create_nic()

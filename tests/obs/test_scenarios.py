@@ -16,8 +16,8 @@ def match_lock_wait(tracer) -> int:
 def test_traceable_ids_cover_both_workloads():
     ids = traceable_ids()
     assert {"fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
-            "table2", "fig6", "fig7"} == set(ids)
-    assert ids == sorted(ids[:-2]) + ["fig6", "fig7"]
+            "table2", "fig6", "fig7", "chaos"} == set(ids)
+    assert ids == sorted(ids[:-3]) + ["fig6", "fig7", "chaos"]
 
 
 def test_unknown_experiment_raises():
@@ -57,6 +57,22 @@ def test_trace_false_skips_tracer():
     run = traced_run("fig6", metrics_interval_ns=100_000, trace=False)
     assert run.tracer is None
     assert run.metrics is not None and run.metrics.rows
+
+
+def test_chaos_scenario_records_fault_instants():
+    run = traced_run("chaos")
+    assert run.result.faults is not None
+    assert run.result.faults["drops"] > 0
+    fault_tracks = {t.tid for t in run.tracer.tracks() if t.kind == "fault"}
+    assert len(fault_tracks) == 1
+    names = {i[1] for i in run.tracer.instants if i[0] in fault_tracks}
+    assert "drop" in names and "retransmit" in names
+
+
+def test_chaos_trace_is_deterministic():
+    a = traced_run("chaos", seed=4)
+    b = traced_run("chaos", seed=4)
+    assert to_chrome_json(a.tracer) == to_chrome_json(b.tracer)
 
 
 def test_export_loads_as_chrome_trace():

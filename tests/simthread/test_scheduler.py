@@ -165,6 +165,21 @@ def test_deadlock_detection():
         sched.run()
 
 
+def test_deadlock_error_names_every_parked_thread():
+    sched = Scheduler()
+
+    def parked():
+        yield SUSPEND
+
+    sched.spawn(parked(), name="alpha")
+    sched.spawn(parked(), name="beta")
+    with pytest.raises(DeadlockError) as exc:
+        sched.run()
+    assert "2 thread(s) parked forever" in str(exc.value)
+    assert "alpha" in str(exc.value) and "beta" in str(exc.value)
+    assert [t.name for t in exc.value.parked] == ["alpha", "beta"]
+
+
 def test_wake_resumes_parked_thread_with_value():
     sched = Scheduler(jitter=0.0)
     result = []

@@ -1,0 +1,71 @@
+"""Watchdog: no-progress-under-pending-work becomes a StallError."""
+
+import pytest
+
+from repro.simthread import Delay, Scheduler
+from repro.simthread.errors import StallError
+from repro.simthread.watchdog import Watchdog
+
+
+def spinner(rounds=10, step=5_000):
+    def thread():
+        for _ in range(rounds):
+            yield Delay(step)
+
+    return thread()
+
+
+def test_stall_raises_when_work_is_pending():
+    sched = Scheduler(seed=0, jitter=0.0)
+    wd = Watchdog(sched, stall_ns=10_000, pending=lambda: 3)
+    sched.set_watchdog(wd)
+    sched.spawn(spinner())
+    with pytest.raises(StallError) as exc:
+        sched.run()
+    assert exc.value.pending == 3
+    assert "3 unit(s) of work pending" in str(exc.value)
+    assert exc.value.now - exc.value.last_progress_at >= 10_000
+
+
+def test_idle_gap_with_nothing_pending_just_rearms():
+    sched = Scheduler(seed=0, jitter=0.0)
+    wd = Watchdog(sched, stall_ns=10_000, pending=lambda: 0)
+    sched.set_watchdog(wd)
+    sched.spawn(spinner())
+    sched.run()
+    assert wd.checks >= 1  # it looked, saw nothing owed, re-armed
+
+
+def test_notes_keep_the_watchdog_quiet():
+    sched = Scheduler(seed=0, jitter=0.0)
+    wd = Watchdog(sched, stall_ns=10_000, pending=lambda: 5)
+    sched.set_watchdog(wd)
+
+    def worker():
+        for _ in range(8):
+            yield Delay(6_000)
+            wd.note()
+
+    sched.spawn(worker())
+    sched.run()
+    assert wd.notes == 8
+
+
+def test_missing_probe_assumes_pending_work():
+    sched = Scheduler(seed=0, jitter=0.0)
+    sched.set_watchdog(Watchdog(sched, stall_ns=10_000))
+    sched.spawn(spinner())
+    with pytest.raises(StallError):
+        sched.run()
+
+
+def test_stall_ns_validated():
+    sched = Scheduler(seed=0)
+    with pytest.raises(ValueError):
+        Watchdog(sched, stall_ns=0)
+
+
+def test_run_without_watchdog_is_unchanged():
+    sched = Scheduler(seed=0, jitter=0.0)
+    sched.spawn(spinner())
+    assert sched.run() == 50_000

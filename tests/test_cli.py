@@ -87,3 +87,29 @@ def test_run_metrics_interval_without_scenario(capsys, monkeypatch):
     monkeypatch.setattr(f5, "QUICK_PAIRS", (1,))
     assert main(["run", "fig5", "--metrics-interval", "100000"]) == 0
     assert "metrics skipped" in capsys.readouterr().out
+
+
+def test_run_chaos_with_drop_rate(tmp_path, capsys, monkeypatch):
+    import repro.experiments.chaos as chaos
+    monkeypatch.setattr(chaos, "DESIGNS", (("concurrent, 10 CRIs",
+                                            "concurrent", 10),))
+    assert main(["run", "chaos", "--drop-rate", "0.04",
+                 "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Message rate under packet loss" in out
+    assert "retransmits" in out and "degradation_ratio" in out
+    csv = (tmp_path / "chaos.csv").read_text()
+    # --drop-rate R sweeps (0, R/2, R)
+    for x in ("0.0,", "0.02,", "0.04,"):
+        assert f"chaos,concurrent, 10 CRIs,{x}" in csv
+
+
+def test_drop_rate_rejected_for_other_experiments(capsys):
+    assert main(["run", "fig3a", "--drop-rate", "0.1"]) == 2
+    assert "only applies to the 'chaos'" in capsys.readouterr().err
+
+
+def test_out_of_range_drop_rate_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "chaos", "--drop-rate", "1.5"])
+    assert "must be in [0, 1]" in capsys.readouterr().err
