@@ -1,0 +1,63 @@
+"""Engine baseline: serial vs parallel vs warm cache -> BENCH_engine.json.
+
+Times one representative exhibit (ext-modes: small enough to finish in
+seconds, big enough to have parallelizable trials) three ways and
+records the trajectory entry via :mod:`repro.engine.bench`.  The timing
+numbers are informational; the *assertions* guard the engine contract —
+identical CSV bytes under parallelism and zero recomputation on a warm
+cache.
+"""
+
+import pathlib
+import time
+
+from repro.engine import Engine, TrialCache, use_engine
+from repro.engine.bench import SCHEMA_VERSION, load_baseline, record_baseline
+from repro.experiments.extensions import run_entity_modes
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+BASELINE = RESULTS_DIR / "BENCH_engine.json"
+JOBS = 4
+
+
+def _timed(engine):
+    t0 = time.perf_counter()
+    with use_engine(engine):
+        fig = run_entity_modes(quick=True)
+    return fig.to_csv(), time.perf_counter() - t0
+
+
+def test_bench_engine_baseline(tmp_path):
+    """Record serial-cold / parallel-cold / warm-cache timings."""
+    cache_root = tmp_path / "cache"
+
+    serial = Engine(jobs=1)
+    serial_csv, serial_s = _timed(serial)
+
+    parallel = Engine(jobs=JOBS, cache=TrialCache(cache_root))
+    parallel_csv, parallel_s = _timed(parallel)
+
+    warm = Engine(jobs=JOBS, cache=TrialCache(cache_root))
+    warm_csv, warm_s = _timed(warm)
+
+    # the contract the timings ride on
+    assert parallel_csv == serial_csv
+    assert warm_csv == serial_csv
+    assert warm.counters.cache_hits == warm.counters.trials
+    assert warm.counters.cache_misses == 0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = record_baseline(BASELINE, {
+        "label": "ext-modes quick",
+        "exhibit": "ext-modes",
+        "jobs": JOBS,
+        "trials": serial.counters.trials,
+        "serial_cold_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_s, 3),
+        "warm_cache_s": round(warm_s, 3),
+        "parallel_utilization": round(parallel.utilization(), 3),
+    })
+    assert doc["schema"] == SCHEMA_VERSION
+
+    reread = load_baseline(BASELINE)
+    assert any(e["label"] == "ext-modes quick" for e in reread["trajectory"])

@@ -30,6 +30,7 @@ class ImplementationProfile:
     cost_scale: float = 1.0
 
     def costs(self, base: CostModel | None = None) -> CostModel:
+        """The cost model for this implementation (scaled if tuned)."""
         base = base or CostModel()
         return base if self.cost_scale == 1.0 else base.scaled(self.cost_scale)
 
@@ -54,6 +55,7 @@ FIGURE5_PROFILES: tuple[ImplementationProfile, ...] = (
 
 
 def profile_by_name(name: str) -> ImplementationProfile:
+    """Look up a Figure 5 profile by its display name."""
     for p in FIGURE5_PROFILES:
         if p.name == name:
             return p

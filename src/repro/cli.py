@@ -6,11 +6,20 @@ Examples::
     python -m repro testbeds
     python -m repro run fig3a
     python -m repro run fig6 --full --out results/
-    python -m repro run all --out results/
+    python -m repro run all --jobs 8 --out results/
     python -m repro run fig3b --metrics-interval 100000 --out results/
     python -m repro run chaos --drop-rate 0.02
+    python -m repro run fig5 --jobs 4 --no-cache
     python -m repro trace fig3a --out trace.json
     python -m repro trace chaos --out chaos.json
+
+``run`` executes its seeded trials through the experiment engine
+(:mod:`repro.engine`): ``--jobs N`` fans independent trials out over N
+worker processes and the content-addressed trial cache (under
+``<out-or-results>/.cache``) skips every trial whose configuration,
+seed and code fingerprint were computed before.  Both are safe by
+construction -- trials are pure, so parallel and warm-cache runs emit
+byte-identical artifacts -- and ``--no-cache`` forces recomputation.
 
 ``trace`` records one representative simulation of the experiment with
 the virtual-time tracer attached and writes Chrome trace-event JSON --
@@ -22,6 +31,7 @@ byte-identical across runs with the same seed.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
@@ -39,6 +49,14 @@ def _drop_rate(text: str) -> float:
     if not 0.0 <= value <= 1.0:
         raise argparse.ArgumentTypeError(
             f"drop rate must be in [0, 1], got {value}")
+    return value
+
+
+def _jobs(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be a positive worker count, got {value}")
     return value
 
 
@@ -65,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--drop-rate", type=_drop_rate, default=None, metavar="R",
                      help="chaos only: sweep [0, R] as the packet drop axis "
                           "instead of the built-in axis (fraction in [0, 1])")
+    run.add_argument("--jobs", type=_jobs, default=1, metavar="N",
+                     help="run seeded trials on N worker processes "
+                          "(byte-identical to serial; default 1)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the content-addressed trial cache and "
+                          "recompute every trial")
 
     trace = sub.add_parser(
         "trace", help="trace one representative run (Perfetto/Chrome JSON)")
@@ -83,9 +107,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _save(fig, out_dir: pathlib.Path) -> None:
+    from repro.util.svg import render_svg
+
     out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / f"{fig.fig_id}.txt").write_text(fig.to_ascii() + "\n")
     (out_dir / f"{fig.fig_id}.csv").write_text(fig.to_csv())
+    (out_dir / f"{fig.fig_id}.svg").write_text(render_svg(fig))
 
 
 def _emit(result, out_dir) -> None:
@@ -143,8 +170,78 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _build_engine(args):
+    """The engine a ``run`` invocation executes its trials through.
+
+    The cache root is ``$REPRO_TRIAL_CACHE`` when set, else ``.cache``
+    under ``--out`` (or ``results/``).
+    """
+    from repro.engine import Engine, TrialCache
+
+    cache = None
+    if not args.no_cache:
+        root = os.environ.get("REPRO_TRIAL_CACHE")
+        if root:
+            cache = TrialCache(pathlib.Path(root))
+        else:
+            base = args.out if args.out is not None else pathlib.Path("results")
+            cache = TrialCache(base / ".cache")
+    return Engine(jobs=args.jobs, cache=cache)
+
+
+def _emit_engine(engine, out_dir) -> None:
+    """Print the engine summary; persist its counters next to --out."""
+    from repro.obs.enginestats import engine_csv, engine_summary
+
+    if engine.counters.batches == 0:
+        return
+    print(engine_summary(engine))
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "engine.metrics.csv").write_text(engine_csv(engine))
+
+
+def _cmd_run(args) -> int:
+    from repro.engine import use_engine
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    quick = not args.full
+    engine = _build_engine(args)
+    with use_engine(engine):
+        if args.experiment == "all":
+            for exp_id in EXPERIMENTS:
+                print(f"--- running {exp_id} ---")
+                _emit(run_experiment(exp_id, quick=quick), args.out)
+                if args.metrics_interval is not None:
+                    _emit_metrics(exp_id, args.metrics_interval, args.out)
+            _emit_engine(engine, args.out)
+            return 0
+        try:
+            if args.drop_rate is not None:
+                if args.experiment != "chaos":
+                    print("--drop-rate only applies to the 'chaos' experiment",
+                          file=sys.stderr)
+                    return 2
+                from repro.experiments.chaos import run_chaos
+
+                result = run_chaos(
+                    quick=quick,
+                    drop_rates=(0.0, args.drop_rate / 2, args.drop_rate))
+            else:
+                result = run_experiment(args.experiment, quick=quick)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        _emit(result, args.out)
+        if args.metrics_interval is not None:
+            _emit_metrics(args.experiment, args.metrics_interval, args.out)
+        _emit_engine(engine, args.out)
+    return 0
+
+
 def main(argv=None) -> int:
-    from repro.experiments import EXPERIMENTS, TESTBEDS, run_experiment
+    """CLI entry point; returns the process exit code."""
+    from repro.experiments import EXPERIMENTS, TESTBEDS
 
     args = _build_parser().parse_args(argv)
 
@@ -164,31 +261,4 @@ def main(argv=None) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
 
-    # run
-    quick = not args.full
-    if args.experiment == "all":
-        for exp_id in EXPERIMENTS:
-            print(f"--- running {exp_id} ---")
-            _emit(run_experiment(exp_id, quick=quick), args.out)
-            if args.metrics_interval is not None:
-                _emit_metrics(exp_id, args.metrics_interval, args.out)
-        return 0
-    try:
-        if args.drop_rate is not None:
-            if args.experiment != "chaos":
-                print("--drop-rate only applies to the 'chaos' experiment",
-                      file=sys.stderr)
-                return 2
-            from repro.experiments.chaos import run_chaos
-
-            result = run_chaos(quick=quick,
-                               drop_rates=(0.0, args.drop_rate / 2, args.drop_rate))
-        else:
-            result = run_experiment(args.experiment, quick=quick)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
-        return 2
-    _emit(result, args.out)
-    if args.metrics_interval is not None:
-        _emit_metrics(args.experiment, args.metrics_interval, args.out)
-    return 0
+    return _cmd_run(args)

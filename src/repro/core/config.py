@@ -142,6 +142,7 @@ class CostModel:
         return CostModel(**fields)
 
     def with_overrides(self, **kwargs) -> "CostModel":
+        """Copy with some cost fields replaced."""
         return dataclasses.replace(self, **kwargs)
 
 
@@ -174,4 +175,5 @@ class ThreadingConfig:
             raise ValueError(f"progress must be one of {_PROGRESS_MODES}, got {self.progress!r}")
 
     def with_overrides(self, **kwargs) -> "ThreadingConfig":
+        """Copy with some knobs replaced."""
         return dataclasses.replace(self, **kwargs)

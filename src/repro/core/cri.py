@@ -33,9 +33,11 @@ class CRI:
 
     @property
     def cq(self):
+        """The completion queue of this CRI's network context."""
         return self.context.cq
 
     def endpoint_to(self, dst_context):
+        """The wire endpoint from this CRI's context to ``dst_context``."""
         return self.context.endpoint_to(dst_context)
 
     def __repr__(self):  # pragma: no cover - debug aid

@@ -1,0 +1,59 @@
+"""Parallel experiment engine with a content-addressed trial cache.
+
+Every exhibit in ``repro.experiments`` is a sweep of *trials*: pure
+functions of ``(x, seed, params)`` that run one seeded simulation and
+return a JSON-able value.  Purity is the same independence property the
+paper's CRI design exploits for communication -- no trial observes
+another -- so the engine can fan trials out over a
+:mod:`multiprocessing` worker pool and merge the results by task
+identity, producing **byte-identical** artifacts regardless of worker
+count or completion order.
+
+Layers (each in its own module):
+
+* :mod:`~repro.engine.task` -- :class:`TrialSpec` / :class:`TrialTask`,
+  the picklable description of one trial, plus the canonical encoding
+  that content-addresses it;
+* :mod:`~repro.engine.registry` -- the by-name registry of trial
+  functions (workers import it to resolve tasks);
+* :mod:`~repro.engine.fingerprint` -- source fingerprints that fold the
+  simulator's code into cache keys, so editing the model invalidates
+  stale trials while documentation edits do not;
+* :mod:`~repro.engine.cache` -- :class:`TrialCache`, one JSON file per
+  trial under ``results/.cache/``;
+* :mod:`~repro.engine.pool` -- the worker-pool executor;
+* :mod:`~repro.engine.engine` -- :class:`Engine` orchestrating cache +
+  pool and keeping SPC-style counters (hits, misses, utilization);
+* :mod:`~repro.engine.bench` -- the ``BENCH_engine.json`` baseline
+  writer recording the serial-vs-parallel trajectory.
+
+The ambient engine (:func:`current_engine` / :func:`use_engine`)
+defaults to serial, uncached execution -- exactly the pre-engine
+behaviour -- and the CLI swaps in a parallel, cached one for
+``python -m repro run <id> --jobs N``.
+"""
+
+from repro.engine.cache import TrialCache
+from repro.engine.engine import (
+    Engine,
+    EngineCounters,
+    current_engine,
+    set_engine,
+    use_engine,
+)
+from repro.engine.registry import resolve_trial, trial
+from repro.engine.task import TrialSpec, TrialTask, canonical
+
+__all__ = [
+    "Engine",
+    "EngineCounters",
+    "TrialCache",
+    "TrialSpec",
+    "TrialTask",
+    "canonical",
+    "current_engine",
+    "resolve_trial",
+    "set_engine",
+    "trial",
+    "use_engine",
+]

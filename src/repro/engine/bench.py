@@ -1,0 +1,48 @@
+"""``BENCH_engine.json``: the serial-vs-parallel baseline trajectory.
+
+The ROADMAP asks every perf-facing PR to leave a measurable trail; this
+module owns the schema.  Each entry records one exhibit timed three
+ways -- serial cold, parallel cold, warm cache -- plus the engine
+counters for the run.  ``benchmarks/test_bench_engine.py`` regenerates
+the file; later PRs append entries rather than overwrite history, so
+the JSON holds a ``trajectory`` list ordered oldest-first.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+#: bump when the entry schema changes
+SCHEMA_VERSION = 1
+
+
+def load_baseline(path: pathlib.Path | str) -> dict:
+    """Read the baseline file; an absent/corrupt file yields a fresh doc."""
+    path = pathlib.Path(path)
+    try:
+        doc = json.loads(path.read_text())
+        if doc.get("schema") != SCHEMA_VERSION:
+            raise ValueError("schema mismatch")
+        if not isinstance(doc.get("trajectory"), list):
+            raise ValueError("missing trajectory")
+        return doc
+    except (OSError, ValueError):
+        return {"schema": SCHEMA_VERSION, "trajectory": []}
+
+
+def record_baseline(path: pathlib.Path | str, entry: dict) -> dict:
+    """Append ``entry`` to the trajectory and rewrite the file.
+
+    Entries with the same ``label`` replace the previous measurement so
+    reruns of the bench refresh rather than duplicate; distinct labels
+    accumulate -- that is the trajectory.
+    """
+    if "label" not in entry:
+        raise ValueError("baseline entries need a 'label'")
+    path = pathlib.Path(path)
+    doc = load_baseline(path)
+    doc["trajectory"] = [e for e in doc["trajectory"]
+                         if e.get("label") != entry["label"]] + [entry]
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

@@ -1,0 +1,107 @@
+"""Content-addressed trial cache: one JSON file per computed trial.
+
+The cache key is ``sha256(trial-identity | code-fingerprint)`` where the
+trial identity is the canonical encoding from
+:meth:`~repro.engine.task.TrialTask.cache_text` and the fingerprint
+comes from :mod:`~repro.engine.fingerprint`.  Values land under
+``<root>/<key[:2]>/<key>.json`` (two-level fan-out keeps directories
+small); each file carries the key components alongside the value so a
+cache entry is self-describing and individually inspectable.
+
+Corrupt or unreadable entries are treated as misses -- the trial is
+simply recomputed and the entry rewritten -- so a killed run can never
+poison later ones.  Writes go through a same-directory temp file +
+``os.replace`` so concurrent processes racing on one entry both leave a
+complete file behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+from repro.engine.fingerprint import trial_fingerprint
+from repro.engine.task import TrialTask
+
+#: bump when the on-disk payload layout changes
+_FORMAT = 1
+
+
+class TrialCache:
+    """Persistent map from trial identity to its computed value."""
+
+    def __init__(self, root: pathlib.Path | str):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, task: TrialTask) -> str | None:
+        """The content address of ``task``, or None if it is uncacheable."""
+        identity = task.cache_text()
+        if identity is None:
+            return None
+        fingerprint = trial_fingerprint(task.spec.fn)
+        return hashlib.sha256(f"{identity}|code={fingerprint}".encode()).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, task: TrialTask):
+        """Return ``(hit, value)``; a miss or uncacheable task is ``(False, None)``."""
+        key = self.key_for(task)
+        if key is None:
+            return False, None
+        try:
+            payload = json.loads(self._path(key).read_text())
+            if payload.get("format") != _FORMAT:
+                raise ValueError("stale cache format")
+            value = payload["value"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, task: TrialTask, value) -> None:
+        """Persist ``value`` for ``task`` (no-op for uncacheable tasks)."""
+        key = self.key_for(task)
+        if key is None:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _FORMAT,
+            "fn": task.spec.fn,
+            "identity": task.cache_text(),
+            "x": task.x,
+            "seed": task.seed,
+            "value": value,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Number of cached trials currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,183 @@
+"""The Engine: cache-aware, optionally parallel trial execution.
+
+``Engine.run_tasks`` is the single funnel every exhibit's trials pass
+through.  For each batch it:
+
+1. deduplicates identical tasks (same spec/x/seed never computes twice);
+2. resolves what it can from the :class:`~repro.engine.cache.TrialCache`;
+3. fans the remaining misses out over the worker pool (or runs them
+   inline when ``jobs == 1``);
+4. writes freshly computed values back to the cache;
+5. reassembles results in submission order.
+
+Because trials are pure, steps 2-4 cannot change any value -- only where
+it came from -- which is what the byte-identical-artifacts guarantee
+rests on.  The engine keeps SPC-style counters
+(:class:`EngineCounters`) mirroring the simulator's own software
+performance counters: totals, hits/misses, per-worker busy time and the
+derived utilization, surfaced through ``repro.obs.enginestats``.
+
+The *ambient* engine (:func:`current_engine`) is what the experiment
+runners use when no engine is passed explicitly; it defaults to serial
+uncached execution, and :func:`use_engine` swaps it for a scope (the
+CLI wraps each ``run`` invocation).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.cache import TrialCache
+from repro.engine.pool import run_parallel, run_serial
+from repro.engine.task import TrialTask
+
+
+@dataclass
+class EngineCounters:
+    """SPC-style tallies of what the engine did (host-level, not virtual)."""
+
+    trials: int = 0            #: tasks submitted (after dedup)
+    duplicates: int = 0        #: submitted tasks merged into an identical one
+    cache_hits: int = 0        #: trials answered from the cache
+    cache_misses: int = 0      #: trials that had to compute
+    uncacheable: int = 0       #: computed trials whose params defeat caching
+    batches: int = 0           #: run_tasks invocations
+    wall_ns: int = 0           #: host time spent inside run_tasks
+    busy_ns: int = 0           #: summed per-trial compute time
+    workers: dict = field(default_factory=dict)  #: pid -> busy_ns
+
+    def utilization(self, jobs: int) -> float:
+        """Fraction of ``jobs x wall`` capacity spent computing trials."""
+        if self.wall_ns <= 0 or jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / (self.wall_ns * jobs))
+
+    def as_row(self) -> dict:
+        """Flat dict of the counters (for CSV/JSON surfaces)."""
+        return {
+            "trials": self.trials,
+            "duplicates": self.duplicates,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "uncacheable": self.uncacheable,
+            "batches": self.batches,
+            "wall_ns": self.wall_ns,
+            "busy_ns": self.busy_ns,
+            "workers_used": len(self.workers),
+        }
+
+
+class Engine:
+    """Runs batches of :class:`TrialTask` with caching and parallelism."""
+
+    def __init__(self, jobs: int = 1, cache: TrialCache | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.counters = EngineCounters()
+
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks) -> list:
+        """Execute ``tasks``; returns their values in submission order."""
+        tasks = list(tasks)
+        started = time.perf_counter_ns()
+        unique: dict[object, int] = {}
+        order: list[TrialTask] = []
+        keys: list[object] = []
+        for task in tasks:
+            try:
+                hash(task)
+                key: object = task
+            except TypeError:
+                key = object()  # unhashable params: never deduplicates
+            keys.append(key)
+            if key not in unique:
+                unique[key] = len(order)
+                order.append(task)
+        self.counters.batches += 1
+        self.counters.trials += len(order)
+        self.counters.duplicates += len(tasks) - len(order)
+
+        values: list = [None] * len(order)
+        misses: list[tuple[int, TrialTask]] = []
+        for i, task in enumerate(order):
+            hit = False
+            if self.cache is not None:
+                hit, value = self.cache.get(task)
+            if hit:
+                self.counters.cache_hits += 1
+                values[i] = value
+            else:
+                misses.append((i, task))
+
+        if misses:
+            miss_tasks = [t for _, t in misses]
+            if self.jobs > 1:
+                outcomes = run_parallel(miss_tasks, self.jobs)
+            else:
+                outcomes = run_serial(miss_tasks)
+            for (i, task), outcome in zip(misses, outcomes):
+                values[i] = outcome.value
+                self.counters.busy_ns += outcome.busy_ns
+                pid_busy = self.counters.workers.get(outcome.worker_pid, 0)
+                self.counters.workers[outcome.worker_pid] = pid_busy + outcome.busy_ns
+                if self.cache is not None:
+                    if task.cache_text() is None:
+                        self.counters.uncacheable += 1
+                    else:
+                        self.counters.cache_misses += 1
+                        self.cache.put(task, outcome.value)
+                else:
+                    self.counters.cache_misses += 1
+
+        self.counters.wall_ns += time.perf_counter_ns() - started
+        return [values[unique[key]] for key in keys]
+
+    def run_task(self, task: TrialTask):
+        """Convenience wrapper: run one task, return its value."""
+        return self.run_tasks([task])[0]
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Worker utilization over everything this engine has run."""
+        return self.counters.utilization(self.jobs)
+
+    def summary(self) -> str:
+        """One-line human summary (the CLI prints this after a run)."""
+        c = self.counters
+        cached = "off" if self.cache is None else str(self.cache.root)
+        return (f"engine: {c.trials} trials, {c.cache_hits} cache hits, "
+                f"{c.cache_misses} computed, jobs={self.jobs}, "
+                f"utilization={self.utilization():.0%}, cache={cached}")
+
+
+#: the ambient engine used when runners are not handed one explicitly
+_current: Engine | None = None
+
+
+def current_engine() -> Engine:
+    """The ambient engine (serial, uncached unless something swapped it)."""
+    global _current
+    if _current is None:
+        _current = Engine()
+    return _current
+
+
+def set_engine(engine: Engine | None) -> Engine | None:
+    """Replace the ambient engine; returns the previous one."""
+    global _current
+    previous, _current = _current, engine
+    return previous
+
+
+@contextlib.contextmanager
+def use_engine(engine: Engine):
+    """Scope ``engine`` as the ambient engine (restores on exit)."""
+    previous = set_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_engine(previous)

@@ -1,0 +1,108 @@
+"""Source fingerprints: fold the simulator's code into cache keys.
+
+A cached trial value is only valid while the code that produced it is
+unchanged.  Hashing the whole repository would invalidate everything on
+a README edit, so the fingerprint for a trial covers exactly what can
+change its value:
+
+* the **simulation core** -- the packages every trial runs through
+  (``simthread``, ``netsim``, ``core``, ``mpi``, ``workloads``,
+  ``baselines``, ``faults``, ``util``); and
+* the module defining the **trial function itself** (one experiment
+  file), so editing ``figure3.py`` invalidates fig3 trials but not
+  fig6's.
+
+Edits to docs, the CLI, observability, or the engine itself leave every
+cached trial valid.  Fingerprints are content hashes of the ``.py``
+sources (sorted paths), so they are stable across machines and mtimes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import sys
+
+#: packages whose source participates in every trial's fingerprint
+CORE_PACKAGES = (
+    "repro.simthread",
+    "repro.netsim",
+    "repro.core",
+    "repro.mpi",
+    "repro.workloads",
+    "repro.baselines",
+    "repro.faults",
+    "repro.util",
+)
+
+_module_digests: dict[str, str] = {}
+_core_digest: str | None = None
+
+
+def _module_path(module_name: str) -> pathlib.Path | None:
+    module = sys.modules.get(module_name)
+    if module is None:
+        try:
+            import importlib
+
+            module = importlib.import_module(module_name)
+        except Exception:
+            return None
+    path = getattr(module, "__file__", None)
+    return pathlib.Path(path) if path else None
+
+
+def _digest_sources(paths) -> str:
+    sha = hashlib.sha256()
+    for path in paths:
+        sha.update(str(path.name).encode())
+        try:
+            sha.update(path.read_bytes())
+        except OSError:
+            sha.update(b"<unreadable>")
+    return sha.hexdigest()
+
+
+def module_fingerprint(module_name: str) -> str:
+    """Content hash of one module's source (package => all its .py files)."""
+    cached = _module_digests.get(module_name)
+    if cached is not None:
+        return cached
+    path = _module_path(module_name)
+    if path is None:
+        digest = hashlib.sha256(module_name.encode()).hexdigest()
+    elif path.name == "__init__.py":
+        digest = _digest_sources(sorted(path.parent.rglob("*.py")))
+    else:
+        digest = _digest_sources([path])
+    _module_digests[module_name] = digest
+    return digest
+
+
+def core_fingerprint() -> str:
+    """Combined hash over the simulation-core packages (cached)."""
+    global _core_digest
+    if _core_digest is None:
+        sha = hashlib.sha256()
+        for package in CORE_PACKAGES:
+            sha.update(module_fingerprint(package).encode())
+        _core_digest = sha.hexdigest()
+    return _core_digest
+
+
+def trial_fingerprint(fn_name: str) -> str:
+    """Fingerprint for one registered trial function's cache keys."""
+    from repro.engine.registry import resolve_trial
+
+    fn = resolve_trial(fn_name)
+    sha = hashlib.sha256()
+    sha.update(core_fingerprint().encode())
+    sha.update(module_fingerprint(fn.__module__).encode())
+    return sha.hexdigest()
+
+
+def reset_fingerprint_cache() -> None:
+    """Drop memoized digests (tests use this after editing sources)."""
+    _module_digests.clear()
+    global _core_digest
+    _core_digest = None

@@ -1,0 +1,74 @@
+"""Worker-pool executor for trial tasks.
+
+Trials are pure and independent, so execution order cannot affect
+results; the pool maps tasks by index and the engine reassembles them in
+submission order, which is what makes ``--jobs N`` byte-identical to a
+serial run.  The ``fork`` start method is preferred (workers inherit the
+loaded registry); under ``spawn`` the initializer replays ``sys.path``
+and re-imports the experiment modules.
+
+Each worker reports its pid and per-task busy time so the engine can
+derive worker-utilization counters.  Those timings are host wall-clock
+-- they feed observability and ``BENCH_engine.json``, never artifacts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.engine.task import TrialTask
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One executed trial: its value plus who/how-long bookkeeping."""
+
+    value: object
+    worker_pid: int
+    busy_ns: int
+
+
+def _init_worker(path_entries) -> None:
+    """Worker initializer: restore sys.path and load the registry."""
+    for entry in reversed(path_entries):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    from repro.engine.registry import ensure_loaded
+
+    ensure_loaded()
+
+
+def _run_indexed(indexed_task) -> tuple[int, TaskOutcome]:
+    """Run one ``(index, task)`` pair; the index rides along for merge."""
+    index, task = indexed_task
+    start = time.perf_counter_ns()
+    value = task.run()
+    busy = time.perf_counter_ns() - start
+    return index, TaskOutcome(value, os.getpid(), busy)
+
+
+def run_serial(tasks: list[TrialTask]) -> list[TaskOutcome]:
+    """Execute every task in this process, in order."""
+    return [_run_indexed((i, t))[1] for i, t in enumerate(tasks)]
+
+
+def run_parallel(tasks: list[TrialTask], jobs: int) -> list[TaskOutcome]:
+    """Execute tasks on a ``jobs``-wide pool; results in submission order."""
+    if jobs < 2 or len(tasks) < 2:
+        return run_serial(tasks)
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    workers = min(jobs, len(tasks))
+    outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+    with ctx.Pool(processes=workers, initializer=_init_worker,
+                  initargs=(list(sys.path),)) as pool:
+        # chunksize 1: trial costs vary wildly across the axis, so let
+        # the pool load-balance instead of pre-slicing.
+        for index, outcome in pool.imap_unordered(
+                _run_indexed, list(enumerate(tasks)), chunksize=1):
+            outcomes[index] = outcome
+    return outcomes  # type: ignore[return-value]

@@ -1,0 +1,106 @@
+"""Trial descriptions: what one unit of engine work looks like.
+
+A :class:`TrialSpec` names a registered trial function plus its fixed
+parameters; a :class:`TrialTask` pins one ``(x, seed)`` point of it.
+Tasks must be picklable (they cross process boundaries) and, when every
+parameter is *canonicalizable*, they are also content-addressable: the
+canonical string feeds the cache key together with the code fingerprint.
+
+Canonical encoding rules (:func:`canonical`): JSON scalars encode as
+JSON; lists/tuples and dicts recurse; frozen dataclasses encode as
+``ClassName(field=..., ...)`` with fields in declaration order.  Any
+other object (an ad-hoc testbed stub, say) yields ``None`` -- the task
+still runs, it just bypasses the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+
+def canonical(value) -> str | None:
+    """Deterministic string form of ``value``, or None if uncacheable."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return json.dumps(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        parts = [canonical(v) for v in value]
+        if any(p is None for p in parts):
+            return None
+        return "[" + ",".join(parts) + "]"
+    if isinstance(value, dict):
+        parts = []
+        for key in sorted(value):
+            if not isinstance(key, str):
+                return None
+            item = canonical(value[key])
+            if item is None:
+                return None
+            parts.append(f"{json.dumps(key)}:{item}")
+        return "{" + ",".join(parts) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        parts = []
+        for f in dataclasses.fields(value):
+            item = canonical(getattr(value, f.name))
+            if item is None:
+                return None
+            parts.append(f"{f.name}={item}")
+        return f"{type(value).__qualname__}({','.join(parts)})"
+    return None
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One trial function plus its fixed (per-series) parameters.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so
+    specs hash and compare by content.  Build with :meth:`make`.
+    """
+
+    fn: str
+    params: tuple = ()
+
+    @staticmethod
+    def make(fn: str, **params) -> "TrialSpec":
+        """Build a spec with ``params`` in canonical (sorted) order."""
+        return TrialSpec(fn, tuple(sorted(params.items(), key=lambda kv: kv[0])))
+
+    def kwargs(self) -> dict:
+        """The fixed parameters as a keyword-argument dict."""
+        return dict(self.params)
+
+    def canonical_params(self) -> str | None:
+        """Canonical encoding of the params, or None if any is opaque."""
+        parts = []
+        for name, value in self.params:
+            item = canonical(value)
+            if item is None:
+                return None
+            parts.append(f"{name}={item}")
+        return ";".join(parts)
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One ``(spec, x, seed)`` trial -- the engine's unit of work."""
+
+    spec: TrialSpec
+    x: float
+    seed: int
+
+    def run(self):
+        """Execute the trial in this process (resolves the registry)."""
+        from repro.engine.registry import resolve_trial
+
+        fn = resolve_trial(self.spec.fn)
+        return fn(self.x, self.seed, **self.spec.kwargs())
+
+    def cache_text(self) -> str | None:
+        """Everything but the code fingerprint of this task's cache key."""
+        params = self.spec.canonical_params()
+        if params is None:
+            return None
+        return f"{self.spec.fn}|{params}|x={self.x!r}|seed={self.seed}"

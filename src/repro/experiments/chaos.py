@@ -20,6 +20,7 @@ shared CRI every sender queues behind the recovery.
 from __future__ import annotations
 
 from repro.core.config import ThreadingConfig
+from repro.engine import TrialSpec, TrialTask, current_engine, trial
 from repro.experiments.testbeds import ALEMBERT, Testbed
 from repro.faults import drop_plan
 from repro.util.records import FigureResult, Series, SeriesPoint
@@ -38,6 +39,33 @@ DESIGNS = (
     ("concurrent, 10 CRIs", "concurrent", 10),
     ("concurrent, 20 CRIs", "concurrent", 20),
 )
+
+
+@trial("chaos.point")
+def _chaos_trial(rate, seed: int, *, progress: str, instances: int,
+                 pairs: int, window: int, windows: int, testbed,
+                 fault_seed: int) -> dict:
+    """One seeded lossy Multirate run of one design (pure).
+
+    Returns a JSON-able dict so the cache can hold both the achieved
+    rate and the retransmit tally the exhibit reports per point.
+    """
+    threading = ThreadingConfig(num_instances=instances,
+                                assignment="dedicated", progress=progress)
+    cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+                          comm_per_pair=True, seed=seed)
+    # rate 0 still arms the reliable transport (frames + acks,
+    # completion deferred to ack) so every point on the axis pays
+    # the same protocol cost and the degradation is purely faults.
+    plan = drop_plan(float(rate), seed=fault_seed)
+    result = run_multirate(cfg, threading=threading,
+                           costs=testbed.costs, fabric=testbed.fabric,
+                           fault_plan=plan)
+    return {
+        "rate": result.message_rate,
+        "retransmits": (result.faults["retransmits"]
+                        if result.faults is not None else 0),
+    }
 
 
 def run_chaos(quick: bool = True, testbed: Testbed = ALEMBERT,
@@ -64,28 +92,25 @@ def run_chaos(quick: bool = True, testbed: Testbed = ALEMBERT,
         xlabel="packet drop rate",
         ylabel="message rate (msg/s)",
     )
+    # one engine batch over the full (design x drop-rate) grid
+    tasks = []
+    for label, progress, instances in designs:
+        spec = TrialSpec.make("chaos.point", progress=progress,
+                              instances=instances, pairs=pairs, window=window,
+                              windows=windows, testbed=testbed,
+                              fault_seed=fault_seed)
+        tasks.extend(TrialTask(spec, rate, 1) for rate in drop_rates)
+    values = current_engine().run_tasks(tasks)
+
     retransmits: dict[str, dict[float, int]] = {}
     degradation: dict[str, float] = {}
-    for label, progress, instances in designs:
-        threading = ThreadingConfig(num_instances=instances,
-                                    assignment="dedicated", progress=progress)
-        points = []
-        per_rate_rtx = {}
-        for rate in drop_rates:
-            cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
-                                  comm_per_pair=True, seed=1)
-            # rate 0 still arms the reliable transport (frames + acks,
-            # completion deferred to ack) so every point on the axis pays
-            # the same protocol cost and the degradation is purely faults.
-            plan = drop_plan(rate, seed=fault_seed)
-            result = run_multirate(cfg, threading=threading,
-                                   costs=testbed.costs, fabric=testbed.fabric,
-                                   fault_plan=plan)
-            points.append(SeriesPoint(rate, result.message_rate))
-            per_rate_rtx[rate] = (result.faults["retransmits"]
-                                  if result.faults is not None else 0)
+    for d, (label, progress, instances) in enumerate(designs):
+        cells = values[d * len(drop_rates):(d + 1) * len(drop_rates)]
+        points = [SeriesPoint(rate, cell["rate"])
+                  for rate, cell in zip(drop_rates, cells)]
         fig.series.append(Series(label, tuple(points)))
-        retransmits[label] = per_rate_rtx
+        retransmits[label] = {rate: cell["retransmits"]
+                              for rate, cell in zip(drop_rates, cells)}
         baseline = points[0].mean
         degradation[label] = points[-1].mean / baseline if baseline else 0.0
     fig.extra["retransmits"] = retransmits

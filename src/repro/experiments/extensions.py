@@ -16,7 +16,8 @@ Three studies the paper's text motivates but does not plot:
 from __future__ import annotations
 
 from repro.core.config import ThreadingConfig
-from repro.experiments.sweep import series_from_sweep
+from repro.engine import trial
+from repro.experiments.sweep import SweepPlan
 from repro.experiments.testbeds import ALEMBERT, Testbed
 from repro.util.records import FigureResult
 from repro.workloads.multirate import MultirateConfig, run_multirate
@@ -24,6 +25,57 @@ from repro.workloads.multirate import MultirateConfig, run_multirate
 SIZE_AXIS = (0, 64, 512, 2048, 8192, 16384, 65536, 262144)
 INSTANCE_AXIS = (1, 2, 4, 6, 8, 12, 16, 20, 26, 32)
 MODE_PAIRS_AXIS = (1, 2, 4, 8, 12, 16)
+
+
+@trial("ext.msgsize")
+def _msgsize_trial(nbytes, seed: int, *, pairs: int, window: int,
+                   windows: int, testbed) -> float:
+    """One seeded Multirate run at one message size (pure)."""
+    threading = ThreadingConfig(num_instances=pairs, assignment="dedicated",
+                                progress="concurrent")
+    cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+                          msg_bytes=int(nbytes), comm_per_pair=True,
+                          seed=seed)
+    return run_multirate(cfg, threading=threading, costs=testbed.costs,
+                         fabric=testbed.fabric).message_rate
+
+
+@trial("ext.instances")
+def _instances_trial(instances, seed: int, *, progress: str,
+                     comm_per_pair: bool, pairs: int, window: int,
+                     windows: int, testbed) -> float:
+    """One seeded Multirate run at one CRI count (pure)."""
+    cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+                          comm_per_pair=comm_per_pair, seed=seed)
+    threading = ThreadingConfig(num_instances=int(instances),
+                                assignment="dedicated", progress=progress)
+    return run_multirate(cfg, threading=threading, costs=testbed.costs,
+                         fabric=testbed.fabric).message_rate
+
+
+@trial("ext.latency")
+def _latency_trial(pairs, seed: int, *, instances: int, progress: str,
+                   comm_per_pair: bool, window: int, testbed) -> float:
+    """One seeded Multirate run reporting the p99 delivery latency (pure)."""
+    threading = ThreadingConfig(num_instances=instances,
+                                assignment="dedicated", progress=progress)
+    cfg = MultirateConfig(pairs=int(pairs), window=window, windows=2,
+                          comm_per_pair=comm_per_pair, seed=seed)
+    result = run_multirate(cfg, threading=threading, costs=testbed.costs,
+                           fabric=testbed.fabric)
+    return result.latency["p99_ns"]
+
+
+@trial("ext.modes")
+def _modes_trial(pairs, seed: int, *, mode: str, window: int, windows: int,
+                 testbed) -> float:
+    """One seeded Multirate run of one entity binding mode (pure)."""
+    threading = ThreadingConfig(num_instances=16, assignment="dedicated",
+                                progress="serial")
+    cfg = MultirateConfig(pairs=int(pairs), window=window,
+                          windows=windows, entity_mode=mode, seed=seed)
+    return run_multirate(cfg, threading=threading, costs=testbed.costs,
+                         fabric=testbed.fabric).message_rate
 
 
 def run_message_size_sweep(quick: bool = True, testbed: Testbed = ALEMBERT,
@@ -39,17 +91,10 @@ def run_message_size_sweep(quick: bool = True, testbed: Testbed = ALEMBERT,
         xlabel="message bytes",
         ylabel="message rate (msg/s)",
     )
-    threading = ThreadingConfig(num_instances=pairs, assignment="dedicated",
-                                progress="concurrent")
-
-    def point(nbytes, seed):
-        cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
-                              msg_bytes=int(nbytes), comm_per_pair=True,
-                              seed=seed)
-        return run_multirate(cfg, threading=threading, costs=testbed.costs,
-                             fabric=testbed.fabric).message_rate
-
-    fig.series.append(series_from_sweep("rate", SIZE_AXIS, point, trials))
+    plan = SweepPlan(trials=trials)
+    plan.add("rate", SIZE_AXIS, "ext.msgsize",
+             pairs=pairs, window=window, windows=windows, testbed=testbed)
+    fig.series.extend(plan.run())
     fig.extra["eager_limit_bytes"] = testbed.costs.eager_limit_bytes
     fig.extra["testbed"] = testbed.name
     return fig
@@ -68,18 +113,14 @@ def run_instance_sweep(quick: bool = True, testbed: Testbed = ALEMBERT,
         xlabel="instances",
         ylabel="message rate (msg/s)",
     )
+    plan = SweepPlan(trials=trials)
     for progress, comm_per_pair, label in (
             ("serial", False, "serial progress"),
             ("concurrent", True, "concurrent progress + matching")):
-        def point(instances, seed, p=progress, cpp=comm_per_pair):
-            cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
-                                  comm_per_pair=cpp, seed=seed)
-            threading = ThreadingConfig(num_instances=int(instances),
-                                        assignment="dedicated", progress=p)
-            return run_multirate(cfg, threading=threading, costs=testbed.costs,
-                                 fabric=testbed.fabric).message_rate
-
-        fig.series.append(series_from_sweep(label, INSTANCE_AXIS, point, trials))
+        plan.add(label, INSTANCE_AXIS, "ext.instances",
+                 progress=progress, comm_per_pair=comm_per_pair, pairs=pairs,
+                 window=window, windows=windows, testbed=testbed)
+    fig.series.extend(plan.run())
     fig.extra["testbed"] = testbed.name
     return fig
 
@@ -98,15 +139,9 @@ def run_latency_tails(quick: bool = True, testbed: Testbed = ALEMBERT,
     pairs_axis = (1, 4, 8, 12, 16, 20) if quick else tuple(range(1, 21))
 
     designs = (
-        ("original (1 CRI, serial)",
-         ThreadingConfig(num_instances=1, assignment="dedicated",
-                         progress="serial"), False),
-        ("CRIs (serial progress)",
-         ThreadingConfig(num_instances=20, assignment="dedicated",
-                         progress="serial"), False),
-        ("CRIs + concurrent matching",
-         ThreadingConfig(num_instances=20, assignment="dedicated",
-                         progress="concurrent"), True),
+        ("original (1 CRI, serial)", 1, "serial", False),
+        ("CRIs (serial progress)", 20, "serial", False),
+        ("CRIs + concurrent matching", 20, "concurrent", True),
     )
 
     fig = FigureResult(
@@ -115,15 +150,12 @@ def run_latency_tails(quick: bool = True, testbed: Testbed = ALEMBERT,
         xlabel="thread pairs",
         ylabel="p99 latency (ns)",
     )
-    for label, threading, comm_per_pair in designs:
-        def point(pairs, seed, t=threading, cpp=comm_per_pair):
-            cfg = MultirateConfig(pairs=int(pairs), window=window, windows=2,
-                                  comm_per_pair=cpp, seed=seed)
-            result = run_multirate(cfg, threading=t, costs=testbed.costs,
-                                   fabric=testbed.fabric)
-            return result.latency["p99_ns"]
-
-        fig.series.append(series_from_sweep(label, pairs_axis, point, trials))
+    plan = SweepPlan(trials=trials)
+    for label, instances, progress, comm_per_pair in designs:
+        plan.add(label, pairs_axis, "ext.latency",
+                 instances=instances, progress=progress,
+                 comm_per_pair=comm_per_pair, window=window, testbed=testbed)
+    fig.series.extend(plan.run())
     fig.extra["testbed"] = testbed.name
     return fig
 
@@ -134,8 +166,6 @@ def run_entity_modes(quick: bool = True, testbed: Testbed = ALEMBERT,
     trials = trials if trials is not None else (1 if quick else 3)
     window = 48 if quick else 128
     windows = 2
-    threading = ThreadingConfig(num_instances=16, assignment="dedicated",
-                                progress="serial")
 
     fig = FigureResult(
         fig_id="ext-modes",
@@ -143,13 +173,10 @@ def run_entity_modes(quick: bool = True, testbed: Testbed = ALEMBERT,
         xlabel="communication pairs",
         ylabel="message rate (msg/s)",
     )
+    plan = SweepPlan(trials=trials)
     for mode in ("threads", "hybrid", "processes"):
-        def point(pairs, seed, m=mode):
-            cfg = MultirateConfig(pairs=int(pairs), window=window,
-                                  windows=windows, entity_mode=m, seed=seed)
-            return run_multirate(cfg, threading=threading, costs=testbed.costs,
-                                 fabric=testbed.fabric).message_rate
-
-        fig.series.append(series_from_sweep(mode, MODE_PAIRS_AXIS, point, trials))
+        plan.add(mode, MODE_PAIRS_AXIS, "ext.modes",
+                 mode=mode, window=window, windows=windows, testbed=testbed)
+    fig.series.extend(plan.run())
     fig.extra["testbed"] = testbed.name
     return fig

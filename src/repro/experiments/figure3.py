@@ -14,7 +14,8 @@ instances in {1, 10, 20} under both assignment strategies:
 from __future__ import annotations
 
 from repro.core.config import ThreadingConfig
-from repro.experiments.sweep import series_from_sweep
+from repro.engine import trial
+from repro.experiments.sweep import SweepPlan
 from repro.experiments.testbeds import ALEMBERT, Testbed
 from repro.util.records import FigureResult
 from repro.workloads.multirate import MultirateConfig, run_multirate
@@ -40,17 +41,19 @@ FULL_PAIRS = tuple(range(1, 21))
 
 
 def series_label(instances: int, assignment: str) -> str:
+    """Legend label for one (instances, assignment) line, e.g. "10-rr"."""
     mode = "rr" if assignment == "round_robin" else "ded"
     return f"{instances}-{mode}"
 
 
-def _multirate_point(panel: str, instances: int, assignment: str,
-                     pairs: int, seed: int, testbed: Testbed,
-                     window: int, windows: int,
+@trial("fig3.rate")
+def _multirate_trial(pairs, seed: int, *, panel: str, instances: int,
+                     assignment: str, testbed, window: int, windows: int,
                      allow_overtaking: bool = False,
                      any_tag: bool = False) -> float:
+    """One seeded Multirate run of one panel configuration (pure)."""
     progress, comm_per_pair, _ = PANELS[panel]
-    cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+    cfg = MultirateConfig(pairs=int(pairs), window=window, windows=windows,
                           msg_bytes=0, entity_mode="threads",
                           comm_per_pair=comm_per_pair,
                           allow_overtaking=allow_overtaking,
@@ -85,15 +88,13 @@ def run_figure3(panel: str = "a", quick: bool = True,
         xlabel="thread pairs",
         ylabel="message rate (msg/s)",
     )
+    plan = SweepPlan(trials=trials)
     for instances, assignment in SERIES_SPECS:
-        fig.series.append(series_from_sweep(
-            series_label(instances, assignment),
-            pairs_axis,
-            lambda pairs, seed, i=instances, a=assignment: _multirate_point(
-                panel, i, a, pairs, seed, testbed, window, windows,
-                allow_overtaking=_overtaking, any_tag=_any_tag),
-            trials,
-        ))
+        plan.add(series_label(instances, assignment), pairs_axis, "fig3.rate",
+                 panel=panel, instances=instances, assignment=assignment,
+                 testbed=testbed, window=window, windows=windows,
+                 allow_overtaking=_overtaking, any_tag=_any_tag)
+    fig.series.extend(plan.run())
     fig.extra["testbed"] = testbed.name
     fig.extra["window"] = window
     fig.extra["windows"] = windows

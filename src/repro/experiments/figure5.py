@@ -13,8 +13,9 @@ should preserve:
 
 from __future__ import annotations
 
-from repro.baselines.profiles import FIGURE5_PROFILES
-from repro.experiments.sweep import series_from_sweep
+from repro.baselines.profiles import FIGURE5_PROFILES, profile_by_name
+from repro.engine import trial
+from repro.experiments.sweep import SweepPlan
 from repro.experiments.testbeds import ALEMBERT, Testbed
 from repro.util.records import FigureResult
 from repro.workloads.multirate import MultirateConfig, run_multirate
@@ -23,13 +24,16 @@ QUICK_PAIRS = (1, 2, 4, 8, 12, 16, 20)
 FULL_PAIRS = tuple(range(1, 21))
 
 
-def _profile_point(profile, pairs: int, seed: int, testbed: Testbed,
+@trial("fig5.rate")
+def _profile_trial(pairs, seed: int, *, profile: str, testbed,
                    window: int, windows: int) -> float:
-    cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
-                          msg_bytes=0, entity_mode=profile.entity_mode,
-                          comm_per_pair=profile.comm_per_pair, seed=seed)
-    result = run_multirate(cfg, threading=profile.config,
-                           costs=profile.costs(testbed.costs),
+    """One seeded Multirate run of one implementation profile (pure)."""
+    prof = profile_by_name(profile)
+    cfg = MultirateConfig(pairs=int(pairs), window=window, windows=windows,
+                          msg_bytes=0, entity_mode=prof.entity_mode,
+                          comm_per_pair=prof.comm_per_pair, seed=seed)
+    result = run_multirate(cfg, threading=prof.config,
+                           costs=prof.costs(testbed.costs),
                            fabric=testbed.fabric)
     return result.message_rate
 
@@ -48,14 +52,12 @@ def run_figure5(quick: bool = True, testbed: Testbed = ALEMBERT,
         xlabel="communication pairs",
         ylabel="message rate (msg/s, log scale in the paper)",
     )
+    plan = SweepPlan(trials=trials)
     for profile in FIGURE5_PROFILES:
-        fig.series.append(series_from_sweep(
-            profile.name,
-            pairs_axis,
-            lambda pairs, seed, p=profile: _profile_point(
-                p, pairs, seed, testbed, window, windows),
-            trials,
-        ))
+        plan.add(profile.name, pairs_axis, "fig5.rate",
+                 profile=profile.name, testbed=testbed,
+                 window=window, windows=windows)
+    fig.series.extend(plan.run())
     fig.extra["testbed"] = testbed.name
     fig.extra["window"] = window
     return fig

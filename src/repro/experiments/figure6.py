@@ -11,7 +11,8 @@ for the size -- is reported in ``extra["peak_rate"]`` per size.
 from __future__ import annotations
 
 from repro.core.config import ThreadingConfig
-from repro.experiments.sweep import series_from_sweep
+from repro.engine import trial
+from repro.experiments.sweep import SweepPlan
 from repro.experiments.testbeds import TRINITITE_HASWELL, Testbed
 from repro.util.records import FigureResult
 from repro.workloads.rmamt import RmaMtConfig, run_rmamt
@@ -38,16 +39,18 @@ def _threads_axis(max_threads: int) -> tuple[int, ...]:
     return tuple(axis)
 
 
-def _rma_point(progress: str, inst_mode: str, threads: int, nbytes: int,
-               seed: int, testbed: Testbed, ops: int) -> float:
+@trial("fig6.rate")
+def _rma_trial(threads, seed: int, *, progress: str, inst_mode: str,
+               nbytes: int, testbed, ops: int) -> float:
+    """One seeded RMA-MT put/flush run of one design (pure)."""
     if inst_mode == "single":
         threading = ThreadingConfig(num_instances=1, assignment="dedicated",
                                     progress=progress)
     else:
         threading = ThreadingConfig(num_instances=testbed.default_instances,
                                     assignment=inst_mode, progress=progress)
-    cfg = RmaMtConfig(threads=threads, ops_per_thread=ops, msg_bytes=nbytes,
-                      op="put", sync="flush", seed=seed)
+    cfg = RmaMtConfig(threads=int(threads), ops_per_thread=ops,
+                      msg_bytes=nbytes, op="put", sync="flush", seed=seed)
     result = run_rmamt(cfg, threading=threading, costs=testbed.costs,
                        fabric=testbed.fabric)
     return result.message_rate
@@ -62,22 +65,25 @@ def run_figure6(quick: bool = True, testbed: Testbed = TRINITITE_HASWELL,
     ops = 150 if quick else 1000
     trials = trials if trials is not None else (1 if quick else 3)
 
-    figures = []
+    # one plan across every size so a parallel engine overlaps all of it
+    plan = SweepPlan(trials=trials)
     for nbytes in sizes:
+        for label, progress, inst_mode in SERIES_SPECS:
+            plan.add(label, threads_axis, "fig6.rate",
+                     progress=progress, inst_mode=inst_mode, nbytes=nbytes,
+                     testbed=testbed, ops=ops)
+    all_series = plan.run()
+
+    figures = []
+    for i, nbytes in enumerate(sizes):
         fig = FigureResult(
             fig_id=f"{_fig_id}-{nbytes}B",
             title=f"RMA-MT MPI_Put + MPI_Win_flush, {nbytes} bytes ({testbed.name})",
             xlabel="threads",
             ylabel="message rate (msg/s)",
         )
-        for label, progress, inst_mode in SERIES_SPECS:
-            fig.series.append(series_from_sweep(
-                label,
-                threads_axis,
-                lambda threads, seed, p=progress, m=inst_mode: _rma_point(
-                    p, m, threads, nbytes, seed, testbed, ops),
-                trials,
-            ))
+        fig.series.extend(
+            all_series[i * len(SERIES_SPECS):(i + 1) * len(SERIES_SPECS)])
         fig.extra["peak_rate"] = testbed.fabric.peak_message_rate(nbytes)
         fig.extra["testbed"] = testbed.name
         fig.extra["ops_per_thread"] = ops

@@ -27,6 +27,8 @@ from repro.experiments.table2 import run_table2
 
 @dataclass(frozen=True)
 class Experiment:
+    """One runnable exhibit: id, description, and its runner callable."""
+
     exp_id: str
     description: str
     runner: object  # callable(quick: bool) -> FigureResult | list[FigureResult]

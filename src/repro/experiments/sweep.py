@@ -1,9 +1,37 @@
-"""Trial-sweep helpers shared by the experiment runners."""
+"""Trial-sweep helpers shared by the experiment runners.
+
+Two generations of API live here:
+
+* :func:`rate_over_trials` / :func:`series_from_sweep` -- the original
+  closure-based helpers, kept for callers that sweep an ad-hoc callable
+  inline (always serial, never cached);
+* :class:`SweepPlan` -- the engine-backed path every registered exhibit
+  now uses.  A plan collects *all* series of an exhibit as
+  :class:`~repro.engine.task.TrialTask` batches and submits them to the
+  ambient :class:`~repro.engine.engine.Engine` in one call, so a
+  parallel engine can overlap trials across series and points, not just
+  within one series.
+
+Both paths derive per-trial seeds identically (``base_seed + 97 * t``),
+so an exhibit moved from one to the other reproduces the same bytes.
+"""
 
 from __future__ import annotations
 
+from repro.engine.engine import Engine, current_engine
+from repro.engine.task import TrialSpec, TrialTask
 from repro.util.records import Series, SeriesPoint
 from repro.util.stats import summarize
+
+#: stride between per-trial seeds (prime, so axes and trials never alias)
+SEED_STRIDE = 97
+
+
+def trial_seeds(trials: int, base_seed: int = 11) -> tuple[int, ...]:
+    """The seed for each of ``trials`` repetitions (shared by both APIs)."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    return tuple(base_seed + SEED_STRIDE * t for t in range(trials))
 
 
 def rate_over_trials(run_once, trials: int, base_seed: int = 11) -> tuple[float, float]:
@@ -12,9 +40,7 @@ def rate_over_trials(run_once, trials: int, base_seed: int = 11) -> tuple[float,
     Returns ``(mean, population std)``, matching the paper's reporting of
     mean and standard deviation over repeated runs.
     """
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    rates = [run_once(base_seed + 97 * t) for t in range(trials)]
+    rates = [run_once(seed) for seed in trial_seeds(trials, base_seed)]
     return summarize(rates)
 
 
@@ -23,6 +49,56 @@ def series_from_sweep(label: str, xs, run_point, trials: int,
     """Build a Series by sweeping ``run_point(x, seed)`` over ``xs``."""
     points = []
     for x in xs:
-        mean, std = rate_over_trials(lambda seed: run_point(x, seed), trials, base_seed)
+        # bind the loop variable explicitly: the lambda outlives the
+        # iteration in principle, and a late-bound ``x`` is a footgun
+        # even though rate_over_trials happens to consume it eagerly.
+        mean, std = rate_over_trials(
+            lambda seed, x=x: run_point(x, seed), trials, base_seed)
         points.append(SeriesPoint(x, mean, std))
     return Series(label, tuple(points))
+
+
+class SweepPlan:
+    """All the trials of one exhibit, ready to submit as a single batch.
+
+    Usage::
+
+        plan = SweepPlan(trials=3)
+        plan.add("1-ded", pairs_axis, "fig3.rate", panel="a", instances=1, ...)
+        plan.add("10-ded", pairs_axis, "fig3.rate", panel="a", instances=10, ...)
+        fig.series.extend(plan.run())
+
+    ``run`` submits every ``(series, x, trial)`` task in one
+    ``engine.run_tasks`` call and folds the returned values back into
+    one :class:`~repro.util.records.Series` per ``add``, with the mean
+    and population std over trials -- numerically identical to the old
+    serial sweep regardless of the engine's job count.
+    """
+
+    def __init__(self, trials: int, base_seed: int = 11):
+        self.seeds = trial_seeds(trials, base_seed)
+        self._series: list[tuple[str, tuple, list[TrialTask]]] = []
+
+    def add(self, label: str, xs, fn: str, **params) -> None:
+        """Queue one series: ``fn(x, seed, **params)`` over ``xs`` x seeds."""
+        spec = TrialSpec.make(fn, **params)
+        tasks = [TrialTask(spec, x, seed) for x in xs for seed in self.seeds]
+        self._series.append((label, tuple(xs), tasks))
+
+    def run(self, engine: Engine | None = None) -> list[Series]:
+        """Execute the whole plan and assemble one Series per ``add``."""
+        engine = engine if engine is not None else current_engine()
+        flat = [task for _, _, tasks in self._series for task in tasks]
+        values = engine.run_tasks(flat)
+        series_list = []
+        cursor = 0
+        trials = len(self.seeds)
+        for label, xs, tasks in self._series:
+            points = []
+            for x in xs:
+                rates = values[cursor:cursor + trials]
+                cursor += trials
+                mean, std = summarize(rates)
+                points.append(SeriesPoint(x, mean, std))
+            series_list.append(Series(label, tuple(points)))
+        return series_list

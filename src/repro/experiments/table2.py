@@ -14,6 +14,7 @@ and minimal with concurrent matching.
 from __future__ import annotations
 
 from repro.core.config import ThreadingConfig
+from repro.engine import TrialSpec, TrialTask, current_engine, trial
 from repro.experiments.testbeds import ALEMBERT, Testbed
 from repro.util.records import FigureResult, Series, SeriesPoint
 from repro.workloads.multirate import MultirateConfig, run_multirate
@@ -25,6 +26,25 @@ STRATEGIES = (
 )
 
 INSTANCE_COUNTS = (1, 10, 20)
+
+
+@trial("table2.cell")
+def _table2_trial(instances, seed: int, *, progress: str,
+                  comm_per_pair: bool, pairs: int, window: int,
+                  windows: int, testbed) -> dict:
+    """One seeded Multirate run returning the Table II counters (pure)."""
+    cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
+                          comm_per_pair=comm_per_pair, seed=seed)
+    threading = ThreadingConfig(num_instances=int(instances),
+                                assignment="dedicated", progress=progress)
+    result = run_multirate(cfg, threading=threading,
+                           costs=testbed.costs, fabric=testbed.fabric)
+    spc = result.spc
+    return {
+        "out_of_sequence": spc.out_of_sequence,
+        "out_of_sequence_pct": 100.0 * spc.out_of_sequence_fraction,
+        "match_time_ms": spc.match_time_ms,
+    }
 
 
 def run_table2(quick: bool = True, testbed: Testbed = ALEMBERT,
@@ -39,21 +59,25 @@ def run_table2(quick: bool = True, testbed: Testbed = ALEMBERT,
         xlabel="instances",
         ylabel="counter",
     )
-    oos_rows, oos_pct_rows, match_rows = {}, {}, {}
+    # one engine batch over the (strategy x instance-count) grid
+    tasks = []
     for name, progress, comm_per_pair in STRATEGIES:
-        oos_points, pct_points, match_points = [], [], []
-        for instances in INSTANCE_COUNTS:
-            cfg = MultirateConfig(pairs=pairs, window=window, windows=windows,
-                                  comm_per_pair=comm_per_pair, seed=seed)
-            threading = ThreadingConfig(num_instances=instances,
-                                        assignment="dedicated",
-                                        progress=progress)
-            result = run_multirate(cfg, threading=threading,
-                                   costs=testbed.costs, fabric=testbed.fabric)
-            spc = result.spc
-            oos_points.append(SeriesPoint(instances, spc.out_of_sequence))
-            pct_points.append(SeriesPoint(instances, 100.0 * spc.out_of_sequence_fraction))
-            match_points.append(SeriesPoint(instances, spc.match_time_ms))
+        spec = TrialSpec.make("table2.cell", progress=progress,
+                              comm_per_pair=comm_per_pair, pairs=pairs,
+                              window=window, windows=windows, testbed=testbed)
+        tasks.extend(TrialTask(spec, instances, seed)
+                     for instances in INSTANCE_COUNTS)
+    values = current_engine().run_tasks(tasks)
+
+    oos_rows, oos_pct_rows, match_rows = {}, {}, {}
+    for s, (name, progress, comm_per_pair) in enumerate(STRATEGIES):
+        cells = values[s * len(INSTANCE_COUNTS):(s + 1) * len(INSTANCE_COUNTS)]
+        oos_points = [SeriesPoint(i, c["out_of_sequence"])
+                      for i, c in zip(INSTANCE_COUNTS, cells)]
+        pct_points = [SeriesPoint(i, c["out_of_sequence_pct"])
+                      for i, c in zip(INSTANCE_COUNTS, cells)]
+        match_points = [SeriesPoint(i, c["match_time_ms"])
+                        for i, c in zip(INSTANCE_COUNTS, cells)]
         oos_rows[name] = Series(f"{name}: out-of-sequence", tuple(oos_points))
         oos_pct_rows[name] = Series(f"{name}: out-of-sequence %", tuple(pct_points))
         match_rows[name] = Series(f"{name}: match time (ms)", tuple(match_points))

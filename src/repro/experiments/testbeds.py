@@ -44,6 +44,7 @@ class Testbed:
     default_instances: int
 
     def as_row(self) -> dict:
+        """Table 1 row for this testbed (display names as keys)."""
         return {
             "Testbed": self.name,
             "Processor": self.processor,

@@ -75,6 +75,7 @@ class DegradeWindow:
             raise ValueError("drop_factor and extra_delay_ns must be >= 0")
 
     def covers(self, now: int) -> bool:
+        """Whether virtual time ``now`` falls inside the window."""
         return self.start_ns <= now < self.end_ns
 
 
@@ -142,10 +143,12 @@ class FaultPlan:
                                 f"got {type(f).__name__}")
 
     def with_overrides(self, **kwargs) -> "FaultPlan":
+        """Copy with some fields replaced."""
         return replace(self, **kwargs)
 
     @property
     def has_packet_faults(self) -> bool:
+        """Whether any per-frame fault can fire (arms the reliable transport)."""
         return (self.drop_rate > 0 or self.dup_rate > 0 or self.corrupt_rate > 0
                 or self.delay_spike_rate > 0 or self.ack_drop_rate > 0
                 or bool(self.degrade_windows))

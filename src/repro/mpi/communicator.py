@@ -52,16 +52,20 @@ class Communicator:
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
+        """Number of member ranks."""
         return len(self.ranks)
 
     @property
     def allow_overtaking(self) -> bool:
+        """Whether the allow-overtaking info hint is set on this comm."""
         return self.info.allow_overtaking
 
     def contains(self, world_rank: int) -> bool:
+        """Whether ``world_rank`` is a member."""
         return world_rank in self._rank_set
 
     def check_member(self, world_rank: int, what: str = "rank") -> None:
+        """Raise RankError unless ``world_rank`` is a member (or ANY_SOURCE)."""
         if world_rank != ANY_SOURCE and world_rank not in self._rank_set:
             raise RankError(f"{what} {world_rank} is not a member of {self.name} "
                             f"(members: {self.ranks})")
@@ -74,6 +78,7 @@ class Communicator:
             raise RankError(f"rank {world_rank} not in {self.name}") from None
 
     def world_rank(self, local: int) -> int:
+        """World rank of a communicator-relative rank."""
         if not 0 <= local < len(self.ranks):
             raise RankError(f"local rank {local} out of range for {self.name}")
         return self.ranks[local]

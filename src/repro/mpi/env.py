@@ -39,22 +39,27 @@ class MpiThreadEnv:
     # ------------------------------------------------------------------
     @property
     def rank(self) -> int:
+        """Rank of the owning process in MPI_COMM_WORLD."""
         return self.process.rank
 
     @property
     def world(self):
+        """The MpiWorld this thread's process belongs to."""
         return self.process.world
 
     @property
     def sched(self):
+        """The cooperative thread scheduler driving the simulation."""
         return self.process.world.sched
 
     @property
     def costs(self):
+        """The CostModel charging virtual time for library operations."""
         return self.process.costs
 
     @property
     def comm_world(self):
+        """The predefined world communicator."""
         return self.process.world.comm_world
 
     # ------------------------------------------------------------------
@@ -369,39 +374,47 @@ class MpiThreadEnv:
     # collectives
     # ------------------------------------------------------------------
     def barrier(self, comm, algorithm: str = _coll.LINEAR):
+        """Generator: block until every member of ``comm`` arrives."""
         yield from _coll.barrier(self, comm, algorithm)
 
     def bcast(self, comm, root: int, payload=None, nbytes: int = 0,
               algorithm: str = _coll.LINEAR):
+        """Generator: broadcast ``payload`` from ``root``; returns it."""
         value = yield from _coll.bcast(self, comm, root, payload, nbytes,
                                        algorithm)
         return value
 
     def reduce(self, comm, root: int, value, op=_coll.SUM, nbytes: int = 0,
                algorithm: str = _coll.LINEAR):
+        """Generator: reduce to ``root``; returns the result there, None elsewhere."""
         result = yield from _coll.reduce(self, comm, root, value, op, nbytes,
                                          algorithm)
         return result
 
     def allreduce(self, comm, value, op=_coll.SUM, nbytes: int = 0,
                   algorithm: str = _coll.LINEAR):
+        """Generator: reduce across ``comm``; every member gets the result."""
         result = yield from _coll.allreduce(self, comm, value, op, nbytes,
                                             algorithm)
         return result
 
     def gather(self, comm, root: int, value, nbytes: int = 0):
+        """Generator: gather one value per rank to ``root`` (list there)."""
         result = yield from _coll.gather(self, comm, root, value, nbytes)
         return result
 
     def scatter(self, comm, root: int, values=None, nbytes: int = 0):
+        """Generator: ``root`` scatters one value to each rank; returns ours."""
         result = yield from _coll.scatter(self, comm, root, values, nbytes)
         return result
 
     def allgather(self, comm, value, nbytes: int = 0):
+        """Generator: gather one value per rank; every member gets the list."""
         result = yield from _coll.allgather(self, comm, value, nbytes)
         return result
 
     def alltoall(self, comm, values, nbytes: int = 0):
+        """Generator: personalized exchange; returns the values sent to us."""
         result = yield from _coll.alltoall(self, comm, values, nbytes)
         return result
 
@@ -414,39 +427,50 @@ class MpiThreadEnv:
         return Window(self.world, comm, size_bytes)
 
     def win_lock(self, win, target: int, exclusive: bool = False):
+        """Generator: open a passive-target epoch on ``target``'s window."""
         yield from _rma_ops.win_lock(self, win, target, exclusive)
 
     def win_lock_all(self, win):
+        """Generator: open shared passive-target epochs on every member."""
         yield from _rma_ops.win_lock_all(self, win)
 
     def win_unlock(self, win, target: int):
+        """Generator: flush outstanding ops and close the epoch on ``target``."""
         yield from _rma_ops.win_unlock(self, win, target)
 
     def win_unlock_all(self, win):
+        """Generator: flush and close the epochs opened by win_lock_all."""
         yield from _rma_ops.win_unlock_all(self, win)
 
     def put(self, win, target: int, nbytes: int, target_offset: int = 0, data=None):
+        """Generator: one-sided write into ``target``'s window; returns the op."""
         op = yield from _rma_ops.put(self, win, target, nbytes, target_offset, data)
         return op
 
     def get(self, win, target: int, nbytes: int, target_offset: int = 0):
+        """Generator: one-sided read from ``target``'s window; returns the op."""
         op = yield from _rma_ops.get(self, win, target, nbytes, target_offset)
         return op
 
     def accumulate(self, win, target: int, values, target_offset: int = 0,
                    op=_rma_ops.SUM_OP):
+        """Generator: element-wise atomic update of ``target``'s window."""
         handle = yield from _rma_ops.accumulate(self, win, target, values,
                                                 target_offset, op)
         return handle
 
     def flush(self, win, target: int | None = None):
+        """Generator: wait for outstanding RMA ops to ``target`` (or all)."""
         yield from _rma_ops.flush(self, win, target)
 
     def flush_all(self, win):
+        """Generator: wait for outstanding RMA ops to every target."""
         yield from _rma_ops.flush(self, win, None)
 
     def fence(self, win):
+        """Generator: active-target synchronization across the window group."""
         yield from _rma_ops.fence(self, win)
 
     def win_sync(self, win):
+        """Generator: synchronize the local window copy (memory barrier)."""
         yield from _rma_ops.win_sync(self, win)

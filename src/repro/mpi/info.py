@@ -22,14 +22,17 @@ class Info:
             self.set(k, v)
 
     def set(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` (stringified; bools lowercase)."""
         if not isinstance(key, str) or not key:
             raise ValueError("info keys must be non-empty strings")
         self._entries[key] = str(value).lower() if isinstance(value, bool) else str(value)
 
     def get(self, key: str, default: str | None = None) -> str | None:
+        """The stored string for ``key``, or ``default``."""
         return self._entries.get(key, default)
 
     def get_bool(self, key: str, default: bool = False) -> bool:
+        """Interpret the stored value as a boolean hint."""
         raw = self._entries.get(key)
         if raw is None:
             return default
@@ -37,9 +40,11 @@ class Info:
 
     @property
     def allow_overtaking(self) -> bool:
+        """The mpi_assert_allow_overtaking hint (section IV-B)."""
         return self.get_bool(ALLOW_OVERTAKING)
 
     def keys(self):
+        """View of the stored hint keys."""
         return self._entries.keys()
 
     def __contains__(self, key: str) -> bool:
@@ -49,4 +54,5 @@ class Info:
         return isinstance(other, Info) and self._entries == other._entries
 
     def copy(self) -> "Info":
+        """Independent copy (communicators snapshot their info)."""
         return Info(dict(self._entries))

@@ -95,6 +95,7 @@ class PvarSession:
         self.world = world
 
     def list_pvars(self) -> list[VarInfo]:
+        """Describe every exported performance variable (MPI_T pvar)."""
         out = []
         for f in dataclasses.fields(SPC):
             doc = (f.metadata.get("doc") if f.metadata else None) or f.name.replace("_", " ")

@@ -59,10 +59,12 @@ class MpiProcess:
 
     @property
     def sched(self):
+        """The world's cooperative thread scheduler."""
         return self.world.sched
 
     # ------------------------------------------------------------------
     def comm_state(self, comm) -> CommState:
+        """This process's per-communicator state (lazily created)."""
         state = self._comm_states.get(comm.id)
         if state is None:
             comm.check_member(self.rank, "local rank")
@@ -71,6 +73,7 @@ class MpiProcess:
         return state
 
     def comm_state_by_id(self, comm_id: int) -> CommState:
+        """Per-communicator state looked up by context id."""
         state = self._comm_states.get(comm_id)
         if state is None:
             state = self.comm_state(self.world.comm_by_id(comm_id))

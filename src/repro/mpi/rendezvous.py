@@ -93,4 +93,5 @@ class RendezvousManager:
 
     @property
     def pending(self) -> int:
+        """Number of parked sends still awaiting a CTS."""
         return len(self._pending)

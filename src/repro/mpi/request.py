@@ -107,30 +107,36 @@ class PersistentRequest(Request):
 
     @property
     def completed(self):  # type: ignore[override]
-        # Inactive requests behave as completed (MPI semantics: waiting on
-        # an inactive persistent request returns immediately).
+        """True when inactive, or when the current started op finished.
+
+        Inactive requests behave as completed (MPI semantics: waiting on
+        an inactive persistent request returns immediately).
+        """
         if not self.active:
             return True
         return self.inner is not None and self.inner.completed
 
     @completed.setter
     def completed(self, value):  # pragma: no cover - Request.__init__ hook
-        pass
+        """Ignore writes; completion is derived from the inner request."""
 
     @property
     def error(self):  # type: ignore[override]
+        """The current started op's transport error, if any."""
         return self.inner.error if self.inner is not None else None
 
     @error.setter
     def error(self, value):  # pragma: no cover - Request.__init__ hook
-        pass
+        """Ignore writes; errors are derived from the inner request."""
 
     @property
     def data(self):
+        """Payload delivered by the current started op (recv side)."""
         return getattr(self.inner, "data", None)
 
     @property
     def status(self):
+        """Status object of the current started op, if any."""
         return getattr(self.inner, "status", None)
 
     def _activate(self, inner: Request) -> None:

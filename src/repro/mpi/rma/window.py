@@ -62,12 +62,14 @@ class Window:
 
     # ------------------------------------------------------------------
     def buffer(self, rank: int) -> np.ndarray:
+        """The window memory exposed by ``rank``."""
         try:
             return self.buffers[rank]
         except KeyError:
             raise RankError(f"rank {rank} is not in window {self.id}'s group") from None
 
     def check_range(self, rank: int, offset: int, nbytes: int) -> None:
+        """Raise ValueError if an access falls outside the window bounds."""
         if offset < 0 or offset + nbytes > self.size_bytes:
             raise ValueError(
                 f"RMA access [{offset}, {offset + nbytes}) outside window of "
@@ -77,18 +79,21 @@ class Window:
     # epochs
     # ------------------------------------------------------------------
     def open_epoch(self, origin: int, target) -> None:
+        """Record an access epoch from ``origin`` to ``target``."""
         epochs = self._epochs[origin]
         if target in epochs:
             raise EpochError(f"rank {origin} already holds an epoch for {target!r}")
         epochs.add(target)
 
     def close_epoch(self, origin: int, target) -> None:
+        """Close ``origin``'s access epoch to ``target``."""
         epochs = self._epochs[origin]
         if target not in epochs:
             raise EpochError(f"rank {origin} has no open epoch for {target!r}")
         epochs.discard(target)
 
     def require_epoch(self, origin: int, target: int) -> None:
+        """Raise EpochError unless an epoch covers ``origin`` -> ``target``."""
         epochs = self._epochs[origin]
         if target in epochs or "all" in epochs or "fence" in epochs:
             return
@@ -97,15 +102,18 @@ class Window:
             f"epoch (win_lock / win_lock_all / fence required)")
 
     def has_epoch(self, origin: int, target) -> bool:
+        """Whether ``origin`` currently holds an epoch for ``target``."""
         return target in self._epochs[origin]
 
     # ------------------------------------------------------------------
     # completion tracking
     # ------------------------------------------------------------------
     def track(self, op: WindowOp) -> None:
+        """Register an in-flight RMA op for completion accounting."""
         self._pending[op.origin].add(op)
 
     def outstanding(self, origin: int, target: int | None = None) -> int:
+        """Count ``origin``'s in-flight ops (optionally to one ``target``)."""
         ops = self._pending[origin]
         if target is None:
             return len(ops)

@@ -53,10 +53,12 @@ class SPC:
             setattr(self, f.name, f.default)
 
     def note_oos_depth(self, depth: int) -> None:
+        """Track the out-of-sequence buffer's high-watermark depth."""
         if depth > self.oos_buffered_high_watermark:
             self.oos_buffered_high_watermark = depth
 
     def note_unexpected_depth(self, depth: int) -> None:
+        """Track the unexpected-message queue's high-watermark depth."""
         if depth > self.unexpected_high_watermark:
             self.unexpected_high_watermark = depth
 
@@ -69,9 +71,11 @@ class SPC:
 
     @property
     def match_time_ms(self) -> float:
+        """Total matching time in milliseconds."""
         return self.match_time_ns / 1e6
 
     def as_dict(self) -> dict:
+        """All counters (plus derived ratios) as a plain dict."""
         return {
             "messages_sent": self.messages_sent,
             "messages_received": self.messages_received,
@@ -101,6 +105,7 @@ class SPCAggregate:
     counters: list = field(default_factory=list)
 
     def add(self, spc: SPC) -> None:
+        """Register one process's SPC for aggregation."""
         self.counters.append(spc)
 
     def clear(self) -> None:
@@ -108,6 +113,7 @@ class SPCAggregate:
         self.counters.clear()
 
     def total(self) -> SPC:
+        """Element-wise sum of every registered SPC."""
         out = SPC()
         for c in self.counters:
             out.messages_sent += c.messages_sent

@@ -72,10 +72,12 @@ class MpiWorld:
     # ------------------------------------------------------------------
     @property
     def nprocs(self) -> int:
+        """Number of simulated MPI processes."""
         return len(self.processes)
 
     def create_comm(self, ranks: tuple[int, ...], info: Info | None = None,
                     name: str = "") -> Communicator:
+        """Create a communicator over ``ranks`` with a fresh context id."""
         for r in ranks:
             if not 0 <= r < self.nprocs:
                 raise CommunicatorError(f"rank {r} does not exist (nprocs={self.nprocs})")
@@ -85,6 +87,7 @@ class MpiWorld:
         return comm
 
     def comm_by_id(self, comm_id: int) -> Communicator:
+        """Look up a communicator by context id."""
         try:
             return self._comms[comm_id]
         except KeyError:

@@ -42,10 +42,12 @@ class NetworkContext:
 
     @property
     def fabric(self):
+        """The interconnect this context's NIC belongs to."""
         return self.nic.fabric
 
     @property
     def sched(self):
+        """The simulation scheduler (for virtual time and events)."""
         return self.nic.fabric.sched
 
     # ------------------------------------------------------------------

@@ -69,6 +69,7 @@ class CompletionQueue:
         self.high_watermark = 0
 
     def push(self, event) -> None:
+        """Enqueue a hardware completion event."""
         self._events.append(event)
         self.events_pushed += 1
         if len(self._events) > self.high_watermark:
@@ -86,4 +87,5 @@ class CompletionQueue:
 
     @property
     def empty(self) -> bool:
+        """Whether no events are waiting to be polled."""
         return not self._events

@@ -46,6 +46,7 @@ class FabricParams:
     max_contexts: int | None = None
 
     def with_overrides(self, **kwargs) -> "FabricParams":
+        """Copy with some parameters replaced."""
         return replace(self, **kwargs)
 
     def peak_message_rate(self, nbytes: int) -> float:
@@ -85,6 +86,7 @@ class Fabric:
         return self.faults
 
     def create_nic(self):
+        """Add one NIC (one per simulated process) to the fabric."""
         from repro.netsim.nic import Nic
 
         nic = Nic(self, len(self.nics))

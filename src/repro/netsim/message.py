@@ -62,6 +62,7 @@ class Envelope:
 
     @property
     def wire_bytes(self) -> int:
+        """Bytes on the wire: header only for RTS/CTS, else payload too."""
         if self.kind in (RTS, CTS):
             return ENVELOPE_BYTES
         return self.nbytes + ENVELOPE_BYTES

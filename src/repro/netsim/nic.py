@@ -27,6 +27,7 @@ class Nic:
         self.bytes_injected: int = 0
 
     def create_context(self) -> NetworkContext:
+        """Add a network context (injection queue + CQ) to this NIC."""
         limit = self.fabric.params.max_contexts
         if limit is not None and len(self.contexts) >= limit:
             raise ContextLimitError(

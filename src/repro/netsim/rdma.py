@@ -51,11 +51,12 @@ class RmaOp:
 
     @property
     def is_get(self) -> bool:
+        """Whether this op reads from the target (get vs put/accumulate)."""
         return self.kind == GET
 
     @property
     def wire_bytes(self) -> int:
-        # A get sends only a small request descriptor; the payload comes back.
+        """Bytes on the wire: header plus payload (gets send only the header)."""
         return 16 if self.is_get else self.nbytes + 16
 
     def apply_remote(self) -> None:
@@ -64,6 +65,7 @@ class RmaOp:
             self.result = self.remote_fn(self)
 
     def mark_completed(self, now: int) -> None:
+        """Local completion (the initiator may now count it flushed)."""
         self.completed = True
         self.remote_applied_at = self.remote_applied_at or now
 

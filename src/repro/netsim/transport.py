@@ -57,6 +57,7 @@ class TransportStats:
     in_flight: int = 0
 
     def as_dict(self) -> dict:
+        """Fault-injection counters as a plain dict (in_flight excluded)."""
         return {
             "frames": self.frames,
             "acks": self.acks,
@@ -115,6 +116,7 @@ class FaultInjector:
         return DELIVER, extra
 
     def ack_dropped(self) -> bool:
+        """Draw whether this ACK is lost on the return path."""
         rate = self.plan.ack_drop_rate
         if rate and self.rng.random() < rate:
             self.stats.ack_drops += 1
@@ -122,14 +124,17 @@ class FaultInjector:
         return False
 
     def timeout_jitter(self) -> int:
+        """Random jitter added to each retransmission timeout."""
         jitter = self.plan.retransmit.jitter_ns
         return self.rng.randrange(jitter) if jitter else 0
 
     # ------------------------------------------------------------------
     def fault_track(self, trc) -> int:
+        """The shared "faults" resource track in the trace."""
         return trc.resource_track("fault", "faults", key=id(self))
 
     def trace_instant(self, name: str, args=None) -> None:
+        """Emit an instant event on the fault track (if tracing is on)."""
         trc = self.fabric.sched.tracer
         if trc.enabled:
             trc.instant(self.fault_track(trc), name, "fault", args)

@@ -17,10 +17,14 @@ cannot provide: *when* and *on which lock/CRI* contention happens.
 * :mod:`~repro.obs.scenarios` -- representative traced runs behind the
   ``python -m repro trace`` CLI (imported lazily; it pulls in the
   workload layer).
+* :mod:`~repro.obs.enginestats` -- the experiment engine's SPC-style
+  counters (cache hits/misses, worker utilization) rendered in the same
+  CSV/summary conventions.
 
 Traces are deterministic: byte-identical across runs with the same seed.
 """
 
+from repro.obs.enginestats import engine_csv, engine_row, engine_summary
 from repro.obs.export import save_trace, to_chrome_json, top_report
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
@@ -30,6 +34,9 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "MetricsRegistry",
+    "engine_csv",
+    "engine_row",
+    "engine_summary",
     "to_chrome_json",
     "top_report",
     "save_trace",

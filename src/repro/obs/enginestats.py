@@ -1,0 +1,46 @@
+"""Engine counters surfaced in the observability subsystem's formats.
+
+The experiment engine keeps SPC-style counters (trials, cache hits and
+misses, per-worker busy time).  This module renders them the same way
+:class:`~repro.obs.metrics.MetricsRegistry` renders the simulator's
+counters -- a stable-column CSV plus a compact human summary -- so the
+two surfaces read alike.  Unlike the simulator's counters these are
+*host-level*: wall-clock and utilization vary run to run, which is why
+they are written next to the artifacts (``engine.metrics.csv``) rather
+than into them.
+"""
+
+from __future__ import annotations
+
+#: stable column order for the engine counters CSV
+ENGINE_COLUMNS = (
+    "trials", "duplicates", "cache_hits", "cache_misses", "uncacheable",
+    "batches", "wall_ns", "busy_ns", "workers_used", "jobs", "utilization",
+)
+
+
+def engine_row(engine) -> dict:
+    """One flat dict of the engine's counters plus derived gauges."""
+    row = engine.counters.as_row()
+    row["jobs"] = engine.jobs
+    row["utilization"] = round(engine.utilization(), 6)
+    return row
+
+
+def engine_csv(engine) -> str:
+    """The counters as a one-row CSV in :data:`ENGINE_COLUMNS` order."""
+    row = engine_row(engine)
+    header = ",".join(ENGINE_COLUMNS)
+    cells = ",".join(_cell(row[c]) for c in ENGINE_COLUMNS)
+    return f"{header}\n{cells}\n"
+
+
+def engine_summary(engine) -> str:
+    """Compact human-readable summary (what the CLI prints)."""
+    return engine.summary()
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)

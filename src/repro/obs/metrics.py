@@ -110,6 +110,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     @property
     def columns(self) -> tuple:
+        """CSV column names, in emit order."""
         return ("t_ns",) + _spc_fields() + _OBS_FIELDS + _DEPTH_FIELDS + (
             "cri_utilization",)
 

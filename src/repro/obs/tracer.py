@@ -38,41 +38,43 @@ class NullTracer:
     enabled = False
 
     def thread_track(self, thread) -> int:
+        """No-op; returns a dummy track id."""
         return 0
 
     def resource_track(self, kind: str, name: str, key=None) -> int:
+        """No-op; returns a dummy track id."""
         return 0
 
     def begin(self, tid, name, cat="", args=None) -> None:
-        pass
+        """No-op span open."""
 
     def end(self, tid, args=None) -> None:
-        pass
+        """No-op span close."""
 
     def instant(self, tid, name, cat="", args=None) -> None:
-        pass
+        """No-op instant event."""
 
     def counter(self, tid, series: dict) -> None:
-        pass
+        """No-op counter sample."""
 
     # domain helpers used by the lock instrumentation
     def lock_acquired(self, lock, thread, contended: bool) -> None:
-        pass
+        """No-op lock-acquire hook."""
 
     def lock_released(self, lock, thread) -> None:
-        pass
+        """No-op lock-release hook."""
 
     def lock_wait_begin(self, lock, thread, depth: int) -> None:
-        pass
+        """No-op lock-wait-start hook."""
 
     def lock_wait_end(self, lock, thread) -> None:
-        pass
+        """No-op lock-wait-end hook."""
 
     def lock_tryfail(self, lock, thread) -> None:
-        pass
+        """No-op failed-trylock hook."""
 
     def lock_migration(self, lock, thread) -> None:
-        pass
+        """No-op lock-migration hook."""
 
 
 #: Shared disabled tracer; the scheduler's default.
@@ -192,9 +194,11 @@ class Tracer:
     # lock-domain helpers (called from SimLock under ``enabled`` guards)
     # ------------------------------------------------------------------
     def lock_kind(self, lock) -> str:
+        """Track kind for a lock ("cri" for CRI locks, else "lock")."""
         return "cri" if lock.name.startswith("cri-") else "lock"
 
     def lock_track(self, lock) -> int:
+        """Resource track id for a lock (interned by identity)."""
         return self.resource_track(self.lock_kind(lock), lock.name, key=id(lock))
 
     def lock_acquired(self, lock, thread, contended: bool) -> None:
@@ -203,6 +207,7 @@ class Tracer:
                    {"contended": contended})
 
     def lock_released(self, lock, thread) -> None:
+        """Close the holder span on the lock's track."""
         self.end(self.lock_track(lock))
 
     def lock_wait_begin(self, lock, thread, depth: int) -> None:
@@ -213,10 +218,12 @@ class Tracer:
         self.counter(self.lock_track(lock), {"waiters": depth})
 
     def lock_wait_end(self, lock, thread) -> None:
+        """Close the waiter's span and resample the queue depth."""
         self.end(self.thread_track(thread))
         self.counter(self.lock_track(lock), {"waiters": len(lock._waiters)})
 
     def lock_tryfail(self, lock, thread) -> None:
+        """Mark a failed trylock attempt on the lock's track."""
         self.instant(self.lock_track(lock), "tryfail", "lock",
                      {"thread": thread.name if thread is not None else "?"})
 

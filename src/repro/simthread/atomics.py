@@ -60,6 +60,7 @@ class AtomicFlag:
 
     @property
     def value(self) -> bool:
+        """Current flag state (read without cost)."""
         return self._value
 
     def test_and_set(self):

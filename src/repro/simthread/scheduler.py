@@ -147,6 +147,7 @@ class Scheduler:
 
     @property
     def threads(self) -> tuple[SimThread, ...]:
+        """Every thread ever spawned, in creation order."""
         return tuple(self._threads)
 
     # ------------------------------------------------------------------

@@ -112,10 +112,12 @@ class SimLock:
     # ------------------------------------------------------------------
     @property
     def locked(self) -> bool:
+        """Whether some thread currently holds the lock."""
         return self._owner is not None
 
     @property
     def holder(self):
+        """The owning thread, or None when free."""
         return self._owner
 
     def _migration_cost(self, thread) -> int:
@@ -224,6 +226,7 @@ class SimSemaphore:
 
     @property
     def value(self) -> int:
+        """Current semaphore count."""
         return self._count
 
     def post(self):
@@ -272,6 +275,7 @@ class SimCondition:
         yield Delay(20)
 
     def notify_all(self):
+        """Generator: wake every waiter."""
         yield from self.notify(len(self._waiters))
 
 

@@ -36,10 +36,13 @@ class ThreadLocal:
         return self._values.get(id(self._me()), self._default)
 
     def set(self, value) -> None:
+        """Bind ``value`` to the calling thread."""
         self._values[id(self._me())] = value
 
     def is_set(self) -> bool:
+        """Whether the calling thread has an explicit value."""
         return id(self._me()) in self._values
 
     def clear(self) -> None:
+        """Remove the calling thread's value (back to the default)."""
         self._values.pop(id(self._me()), None)

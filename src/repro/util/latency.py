@@ -53,6 +53,7 @@ class LatencyHistogram:
 
     @property
     def mean_ns(self) -> float:
+        """Mean recorded latency (0.0 when empty)."""
         return self.total_ns / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
@@ -83,6 +84,7 @@ class LatencyHistogram:
                 else max(self.max_ns, other.max_ns)
 
     def summary(self) -> dict:
+        """Count, mean, p50/p99, and min/max as a plain dict."""
         return {
             "count": self.count,
             "mean_ns": self.mean_ns,

@@ -33,6 +33,7 @@ class Series:
 
     @staticmethod
     def from_xy(label: str, xs, means, stds=None) -> "Series":
+        """Build a series from parallel x/mean (and optional std) sequences."""
         stds = stds if stds is not None else [0.0] * len(xs)
         if not (len(xs) == len(means) == len(stds)):
             raise ValueError("xs, means, stds must have equal length")
@@ -40,13 +41,16 @@ class Series:
 
     @property
     def xs(self) -> tuple[float, ...]:
+        """The x coordinates, in plotting order."""
         return tuple(p.x for p in self.points)
 
     @property
     def means(self) -> tuple[float, ...]:
+        """The mean y values, in plotting order."""
         return tuple(p.mean for p in self.points)
 
     def at(self, x: float) -> SeriesPoint:
+        """The point at exactly ``x`` (KeyError if absent)."""
         for p in self.points:
             if p.x == x:
                 return p
@@ -65,6 +69,7 @@ class FigureResult:
     extra: dict = field(default_factory=dict)
 
     def get(self, label: str) -> Series:
+        """The series with this label (KeyError lists the valid ones)."""
         for s in self.series:
             if s.label == label:
                 return s
@@ -73,6 +78,7 @@ class FigureResult:
 
     @property
     def labels(self) -> list[str]:
+        """Series labels in plotting order."""
         return [s.label for s in self.series]
 
     # ------------------------------------------------------------------

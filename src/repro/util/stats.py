@@ -11,6 +11,7 @@ from typing import Iterable, Sequence
 
 
 def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on an empty sequence)."""
     values = list(values)
     if not values:
         raise ValueError("mean of empty sequence")
@@ -35,6 +36,7 @@ def summarize(values: Iterable[float]) -> tuple[float, float]:
 
 
 def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (raises otherwise)."""
     values = list(values)
     if not values:
         raise ValueError("geometric mean of empty sequence")

@@ -53,9 +53,11 @@ class MultirateConfig:
 
     @property
     def total_messages(self) -> int:
+        """Messages the whole benchmark sends (pairs x window x windows)."""
         return self.pairs * self.window * self.windows
 
     def with_overrides(self, **kwargs) -> "MultirateConfig":
+        """Copy with some fields replaced."""
         return replace(self, **kwargs)
 
 
@@ -76,6 +78,7 @@ class MultirateResult:
 
     @property
     def messages(self) -> int:
+        """Total messages the run was configured to send."""
         return self.config.total_messages
 
 

@@ -46,14 +46,18 @@ class RmaMtConfig:
 
     @property
     def total_ops(self) -> int:
+        """RMA operations the whole benchmark issues."""
         return self.threads * self.ops_per_thread
 
     def with_overrides(self, **kwargs) -> "RmaMtConfig":
+        """Copy with some fields replaced."""
         return replace(self, **kwargs)
 
 
 @dataclass
 class RmaMtResult:
+    """Outcome of one RMA-MT run."""
+
     config: RmaMtConfig
     message_rate: float
     elapsed_ns: int

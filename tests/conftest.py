@@ -9,6 +9,16 @@ from repro.mpi import MpiWorld
 from repro.simthread import Scheduler
 
 
+@pytest.fixture(autouse=True)
+def _isolated_trial_cache(tmp_path, monkeypatch):
+    """Point the CLI's trial cache at a per-test directory.
+
+    Keeps test runs from writing cache entries into the repository's
+    ``results/.cache`` (and from seeing each other's warm entries).
+    """
+    monkeypatch.setenv("REPRO_TRIAL_CACHE", str(tmp_path / "trial-cache"))
+
+
 @pytest.fixture
 def sched():
     """A deterministic scheduler (jitter on, fixed seed)."""

@@ -1,0 +1,1 @@
+"""Tests for the parallel experiment engine (repro.engine)."""

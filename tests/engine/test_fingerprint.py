@@ -1,0 +1,43 @@
+"""Code fingerprints: stability and edit sensitivity."""
+
+from repro.engine import fingerprint as fp
+
+
+def test_core_fingerprint_stable_within_process():
+    assert fp.core_fingerprint() == fp.core_fingerprint()
+
+
+def test_module_fingerprint_package_covers_all_sources():
+    # package fingerprint differs from any single module's
+    assert fp.module_fingerprint("repro.mpi") != fp.module_fingerprint(
+        "repro.mpi.matching")
+
+
+def test_trial_fingerprint_differs_across_experiment_modules():
+    # fig3 trials live in figure3.py, fig6's in figure6.py: editing one
+    # must not invalidate the other, so their fingerprints differ.
+    assert fp.trial_fingerprint("fig3.rate") != fp.trial_fingerprint("fig6.rate")
+
+
+def test_trial_fingerprint_tracks_source_edits(tmp_path, monkeypatch):
+    import importlib
+    import sys
+
+    module_path = tmp_path / "fp_probe_module.py"
+    module_path.write_text('"""probe."""\nVALUE = 1\n')
+    monkeypatch.syspath_prepend(str(tmp_path))
+    importlib.import_module("fp_probe_module")
+    try:
+        before = fp.module_fingerprint("fp_probe_module")
+        fp.reset_fingerprint_cache()
+        assert fp.module_fingerprint("fp_probe_module") == before  # content unchanged
+        module_path.write_text('"""probe."""\nVALUE = 2\n')
+        fp.reset_fingerprint_cache()
+        assert fp.module_fingerprint("fp_probe_module") != before
+    finally:
+        sys.modules.pop("fp_probe_module", None)
+        fp.reset_fingerprint_cache()
+
+
+def test_unimportable_module_still_fingerprints():
+    assert fp.module_fingerprint("no.such.module.anywhere")

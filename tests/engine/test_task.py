@@ -1,0 +1,66 @@
+"""Canonical encoding and task identity."""
+
+import pytest
+
+from repro.core.config import ThreadingConfig
+from repro.engine import TrialSpec, TrialTask, canonical
+from repro.experiments.testbeds import ALEMBERT
+
+
+def test_canonical_scalars():
+    assert canonical(None) == "null"
+    assert canonical(True) == "true"
+    assert canonical(3) == "3"
+    assert canonical(2.5) == "2.5"
+    assert canonical("a b") == '"a b"'
+
+
+def test_canonical_containers_recurse():
+    assert canonical((1, 2)) == canonical([1, 2]) == "[1,2]"
+    assert canonical({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+def test_canonical_dataclasses_use_declared_field_order():
+    text = canonical(ThreadingConfig(num_instances=4))
+    assert text.startswith("ThreadingConfig(")
+    assert "num_instances=4" in text
+    # frozen nested dataclasses (a full testbed) are canonicalizable
+    assert canonical(ALEMBERT) is not None
+
+
+class Opaque:
+    """Not a dataclass, not a scalar: defeats content addressing."""
+
+
+def test_canonical_rejects_opaque_objects():
+    assert canonical(Opaque()) is None
+    assert canonical([1, Opaque()]) is None
+    assert canonical({"k": Opaque()}) is None
+    assert canonical({1: "non-string key"}) is None
+
+
+def test_spec_params_sorted_and_restored():
+    spec = TrialSpec.make("t.fn", beta=2, alpha=1)
+    assert spec.params == (("alpha", 1), ("beta", 2))
+    assert spec.kwargs() == {"alpha": 1, "beta": 2}
+    # same params, different kwarg order -> identical spec (hash & eq)
+    assert spec == TrialSpec.make("t.fn", alpha=1, beta=2)
+
+
+def test_cache_text_pins_everything_but_code():
+    spec = TrialSpec.make("t.fn", n=3)
+    a = TrialTask(spec, 4, 11).cache_text()
+    assert a is not None and "t.fn" in a and "x=4" in a and "seed=11" in a
+    assert TrialTask(spec, 4, 12).cache_text() != a
+    assert TrialTask(spec, 5, 11).cache_text() != a
+    assert TrialTask(TrialSpec.make("t.fn", n=4), 4, 11).cache_text() != a
+
+
+def test_cache_text_none_for_opaque_params():
+    spec = TrialSpec.make("t.fn", ob=Opaque())
+    assert TrialTask(spec, 1, 1).cache_text() is None
+
+
+def test_unknown_trial_name_raises():
+    with pytest.raises(KeyError, match="unknown trial"):
+        TrialTask(TrialSpec.make("no.such.trial"), 0, 0).run()

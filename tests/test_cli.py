@@ -113,3 +113,64 @@ def test_out_of_range_drop_rate_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["run", "chaos", "--drop-rate", "1.5"])
     assert "must be in [0, 1]" in capsys.readouterr().err
+
+
+def test_run_with_jobs_matches_serial_bytes(tmp_path, capsys, monkeypatch):
+    import repro.experiments.figure3 as f3
+    monkeypatch.setattr(f3, "QUICK_PAIRS", (1, 2))
+
+    serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+    assert main(["run", "fig3a", "--no-cache", "--out", str(serial_dir)]) == 0
+    assert main(["run", "fig3a", "--no-cache", "--jobs", "4",
+                 "--out", str(parallel_dir)]) == 0
+    assert ((parallel_dir / "fig3a.csv").read_bytes()
+            == (serial_dir / "fig3a.csv").read_bytes())
+    assert ((parallel_dir / "fig3a.txt").read_bytes()
+            == (serial_dir / "fig3a.txt").read_bytes())
+    out = capsys.readouterr().out
+    assert "jobs=4" in out
+
+
+def test_run_warm_cache_recomputes_nothing(tmp_path, capsys, monkeypatch):
+    import repro.experiments.extensions as ext
+    monkeypatch.setattr(ext, "MODE_PAIRS_AXIS", (1, 2))
+    monkeypatch.setenv("REPRO_TRIAL_CACHE", str(tmp_path / "cache"))
+
+    assert main(["run", "ext-modes", "--out", str(tmp_path / "a")]) == 0
+    cold = capsys.readouterr().out
+    assert "0 cache hits" in cold
+    assert main(["run", "ext-modes", "--out", str(tmp_path / "b")]) == 0
+    warm = capsys.readouterr().out
+    assert "0 computed" in warm
+    assert ((tmp_path / "b" / "ext-modes.csv").read_bytes()
+            == (tmp_path / "a" / "ext-modes.csv").read_bytes())
+
+
+def test_run_writes_engine_metrics_csv(tmp_path, monkeypatch):
+    import repro.experiments.extensions as ext
+    monkeypatch.setattr(ext, "MODE_PAIRS_AXIS", (1,))
+    assert main(["run", "ext-modes", "--out", str(tmp_path)]) == 0
+    csv = (tmp_path / "engine.metrics.csv").read_text()
+    assert csv.startswith("trials,")
+    assert len(csv.splitlines()) == 2
+
+
+def test_run_cache_defaults_under_out_dir(tmp_path, monkeypatch):
+    import repro.experiments.extensions as ext
+    monkeypatch.setattr(ext, "MODE_PAIRS_AXIS", (1,))
+    monkeypatch.delenv("REPRO_TRIAL_CACHE")
+    assert main(["run", "ext-modes", "--out", str(tmp_path)]) == 0
+    assert list((tmp_path / ".cache").glob("*/*.json"))
+
+
+def test_no_cache_leaves_no_cache_dir(tmp_path, monkeypatch):
+    import repro.experiments.extensions as ext
+    monkeypatch.setattr(ext, "MODE_PAIRS_AXIS", (1,))
+    assert main(["run", "ext-modes", "--no-cache", "--out", str(tmp_path)]) == 0
+    assert not (tmp_path / ".cache").exists()
+
+
+def test_non_positive_jobs_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig3a", "--jobs", "0"])
+    assert "positive" in capsys.readouterr().err

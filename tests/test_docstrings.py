@@ -1,0 +1,53 @@
+"""Docstring coverage must not regress (see tools/lint_docstrings.py).
+
+The linter is a dependency-free pydocstyle subset: every public module,
+class, method, and function under ``src/repro`` needs a docstring.  CI
+also runs the tool directly; this test keeps the contract enforceable
+from a plain pytest run.
+"""
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_docstrings import lint_file, lint_roots  # noqa: E402
+
+
+def test_src_repro_is_docstring_clean():
+    findings = lint_roots([REPO / "src" / "repro"])
+    assert findings == [], "\n".join(findings)
+
+
+def test_tools_are_docstring_clean():
+    findings = lint_roots([REPO / "tools"])
+    assert findings == [], "\n".join(findings)
+
+
+def test_linter_flags_a_bad_module(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def exposed(x):\n    return x\n")
+    findings = lint_file(bad)
+    assert any("D100" in f for f in findings)
+    assert any("D103" in f and "exposed" in f for f in findings)
+
+
+def test_linter_accepts_private_and_dunder_names(tmp_path):
+    ok = tmp_path / "ok.py"
+    ok.write_text('"""Module."""\n\n\n'
+                  "def _hidden(x):\n    return x\n\n\n"
+                  "class Thing:\n"
+                  '    """A thing."""\n\n'
+                  "    def __init__(self):\n        self.x = 1\n")
+    assert lint_file(ok) == []
+
+
+def test_linter_flags_empty_and_padded_docstrings(tmp_path):
+    bad = tmp_path / "pads.py"
+    bad.write_text('"""Module."""\n\n\n'
+                   'def empty():\n    """   """\n\n\n'
+                   'def padded():\n    """ padded. """\n')
+    findings = lint_file(bad)
+    assert any("D419" in f for f in findings)
+    assert any("D210" in f for f in findings)
