@@ -5,11 +5,19 @@ under ``results/`` (ASCII table + long-form CSV) while pytest-benchmark
 times a representative simulation run.  Pass ``--full`` for the paper-
 density parameter sets (slower); the default quick sets finish the whole
 suite in minutes.
+
+``perf_baseline`` connects each bench family to the regression
+registry (:mod:`repro.perf`): it reruns the family's deterministic
+probe, rewrites ``results/BENCH_<name>.json`` (gated ``deterministic``
+section from the probe, informational ``host`` section from this
+machine) and returns the metrics so the bench can assert on them.
 """
 
 from __future__ import annotations
 
 import pathlib
+import platform
+import time
 
 import pytest
 
@@ -19,12 +27,14 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
 def pytest_addoption(parser):
+    """Register the --full (paper-density) suite option."""
     parser.addoption("--full", action="store_true", default=False,
                      help="run benches at paper density (slow)")
 
 
 @pytest.fixture(scope="session")
 def quick(request) -> bool:
+    """True unless --full was passed: use the quick parameter sets."""
     return not request.config.getoption("--full")
 
 
@@ -45,3 +55,25 @@ def save_figure():
         return figures
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def perf_baseline():
+    """Record one family's baseline: probed metrics + host wall-clock."""
+    from repro.perf import run_probe, write_bench
+
+    def _record(name: str, host: dict | None = None) -> dict:
+        t0 = time.perf_counter()
+        deterministic = run_probe(name)
+        host_section = {
+            "probe_wall_s": round(time.perf_counter() - t0, 3),
+            "python": platform.python_version(),
+            **(host or {}),
+        }
+        path = write_bench(RESULTS_DIR, name, deterministic,
+                           host=host_section)
+        print(f"\nbaseline: {path} ({len(deterministic)} deterministic "
+              "metrics)")
+        return deterministic
+
+    return _record

@@ -128,3 +128,10 @@ def test_ablation_host_gap(benchmark, save_figure):
     fig.extra["x=1"] = "gap off"
     save_figure(fig)
     assert uncapped.message_rate > capped.message_rate
+
+
+def test_bench_ablations_baseline(perf_baseline):
+    """Record the ablation pairs to the perf registry."""
+    metrics = perf_baseline("ablations")
+    assert metrics["fairness.oos_fair"] < metrics["fairness.oos_unfair"]
+    assert metrics["convoy.elapsed_ns_off"] < metrics["convoy.elapsed_ns_on"]

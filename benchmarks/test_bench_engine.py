@@ -1,33 +1,43 @@
-"""Engine baseline: serial vs parallel vs warm cache -> BENCH_engine.json.
+"""Engine baseline: contract metrics + wall-clock trajectory.
 
 Times one representative exhibit (ext-modes: small enough to finish in
-seconds, big enough to have parallelizable trials) three ways and
-records the trajectory entry via :mod:`repro.engine.bench`.  The timing
-numbers are informational; the *assertions* guard the engine contract —
-identical CSV bytes under parallelism and zero recomputation on a warm
-cache.
+seconds, big enough to have parallelizable trials) three ways -- serial
+cold, parallel cold, warm cache.  The wall-clock numbers land in
+``BENCH_engine.json``'s ``host.trajectory`` (informational history);
+the *gated* metrics -- trial counts, cache hit/miss behaviour and the
+byte-identical-CSV contract -- come from the shared deterministic
+probe via ``perf_baseline``, so ``python -m repro perf check`` verifies
+the same contract this bench asserts.
 """
 
 import pathlib
 import time
 
 from repro.engine import Engine, TrialCache, use_engine
-from repro.engine.bench import SCHEMA_VERSION, load_baseline, record_baseline
+from repro.engine.bench import record_trajectory
 from repro.experiments.extensions import run_entity_modes
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
-BASELINE = RESULTS_DIR / "BENCH_engine.json"
 JOBS = 4
 
 
 def _timed(engine):
+    """Run the exhibit under ``engine``; returns (csv, seconds)."""
     t0 = time.perf_counter()
     with use_engine(engine):
         fig = run_entity_modes(quick=True)
     return fig.to_csv(), time.perf_counter() - t0
 
 
-def test_bench_engine_baseline(tmp_path):
+def test_bench_engine_baseline(perf_baseline):
+    """The deterministic engine contract, recorded to the registry."""
+    metrics = perf_baseline("engine")
+    assert metrics["warm_csv_identical"] == 1
+    assert metrics["warm_misses"] == 0
+    assert metrics["warm_hits"] == metrics["trials"]
+
+
+def test_bench_engine_trajectory(tmp_path):
     """Record serial-cold / parallel-cold / warm-cache timings."""
     cache_root = tmp_path / "cache"
 
@@ -46,8 +56,7 @@ def test_bench_engine_baseline(tmp_path):
     assert warm.counters.cache_hits == warm.counters.trials
     assert warm.counters.cache_misses == 0
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    doc = record_baseline(BASELINE, {
+    doc = record_trajectory(RESULTS_DIR, "engine", {
         "label": "ext-modes quick",
         "exhibit": "ext-modes",
         "jobs": JOBS,
@@ -57,7 +66,5 @@ def test_bench_engine_baseline(tmp_path):
         "warm_cache_s": round(warm_s, 3),
         "parallel_utilization": round(parallel.utilization(), 3),
     })
-    assert doc["schema"] == SCHEMA_VERSION
-
-    reread = load_baseline(BASELINE)
-    assert any(e["label"] == "ext-modes quick" for e in reread["trajectory"])
+    assert any(e["label"] == "ext-modes quick"
+               for e in doc["host"]["trajectory"])

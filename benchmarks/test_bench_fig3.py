@@ -15,6 +15,7 @@ from repro.workloads import MultirateConfig, run_multirate
 
 @pytest.mark.parametrize("panel", ["a", "b", "c"])
 def test_fig3_panel(benchmark, save_figure, quick, panel):
+    """Time one panel's unit-of-work run; regenerate the exhibit."""
     progress, comm_per_pair, _ = PANELS[panel]
 
     def one_point():
@@ -30,3 +31,11 @@ def test_fig3_panel(benchmark, save_figure, quick, panel):
     fig = run_figure3(panel, quick=quick, trials=1 if quick else 3)
     save_figure(fig)
     assert len(fig.series) == 6
+
+
+def test_bench_fig3_baseline(perf_baseline):
+    """Record Figure 3's deterministic metrics to the perf registry."""
+    metrics = perf_baseline("fig3")
+    for panel in ("a", "b", "c"):
+        assert metrics[f"{panel}.messages"] == 1024
+        assert metrics[f"{panel}.elapsed_ns"] > 0

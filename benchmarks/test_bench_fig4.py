@@ -10,6 +10,7 @@ from repro.workloads import MultirateConfig, run_multirate
 
 @pytest.mark.parametrize("panel", ["a", "b", "c"])
 def test_fig4_panel(benchmark, save_figure, quick, panel):
+    """Time one relaxed-ordering panel; regenerate the exhibit."""
     progress, comm_per_pair, _ = PANELS[panel]
 
     def one_point():
@@ -25,3 +26,10 @@ def test_fig4_panel(benchmark, save_figure, quick, panel):
 
     fig = run_figure4(panel, quick=quick, trials=1 if quick else 3)
     save_figure(fig)
+
+
+def test_bench_fig4_baseline(perf_baseline):
+    """Record Figure 4's deterministic metrics to the perf registry."""
+    metrics = perf_baseline("fig4")
+    for panel in ("a", "b", "c"):
+        assert metrics[f"{panel}.messages"] == 1024

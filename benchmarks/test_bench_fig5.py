@@ -6,6 +6,7 @@ from repro.workloads import MultirateConfig, run_multirate
 
 
 def test_fig5(benchmark, save_figure, quick):
+    """Time the starred-profile run; regenerate the Figure 5 exhibit."""
     star = profile_by_name("OMPI Thread + CRIs*")
 
     def one_point():
@@ -23,3 +24,10 @@ def test_fig5(benchmark, save_figure, quick):
     x = fig.get("OMPI Process").points[-1].x
     assert fig.get("OMPI Process").at(x).mean > fig.get("OMPI Thread + CRIs*").at(x).mean
     assert fig.get("OMPI Thread + CRIs*").at(x).mean > fig.get("OMPI Thread").at(x).mean
+
+
+def test_bench_fig5_baseline(perf_baseline):
+    """Record Figure 5's deterministic metrics to the perf registry."""
+    metrics = perf_baseline("fig5")
+    for profile in ("process", "thread", "star"):
+        assert metrics[f"{profile}.message_rate"] > 0

@@ -6,6 +6,7 @@ from repro.workloads import RmaMtConfig, run_rmamt
 
 
 def test_fig6(benchmark, save_figure, quick):
+    """Time one Haswell RMA-MT run; regenerate the Figure 6 exhibit."""
     def one_point():
         return run_rmamt(
             RmaMtConfig(threads=16, ops_per_thread=150, msg_bytes=128),
@@ -19,3 +20,10 @@ def test_fig6(benchmark, save_figure, quick):
     figs = run_figure6(quick=quick, trials=1 if quick else 3)
     save_figure(figs)
     assert len(figs) == 5  # one per message size
+
+
+def test_bench_fig6_baseline(perf_baseline):
+    """Record Figure 6's deterministic metrics to the perf registry."""
+    metrics = perf_baseline("fig6")
+    assert metrics["elapsed_ns"] > 0
+    assert metrics["message_rate"] > 0

@@ -6,6 +6,7 @@ from repro.workloads import RmaMtConfig, run_rmamt
 
 
 def test_fig7(benchmark, save_figure, quick):
+    """Time one KNL RMA-MT run; regenerate the Figure 7 exhibit."""
     def one_point():
         return run_rmamt(
             RmaMtConfig(threads=32, ops_per_thread=100, msg_bytes=128),
@@ -19,3 +20,10 @@ def test_fig7(benchmark, save_figure, quick):
     figs = run_figure7(quick=quick, trials=1 if quick else 3)
     save_figure(figs)
     assert figs[0].get("dedicated/serial").points[-1].x == 64
+
+
+def test_bench_fig7_baseline(perf_baseline):
+    """Record Figure 7's deterministic metrics to the perf registry."""
+    metrics = perf_baseline("fig7")
+    assert metrics["elapsed_ns"] > 0
+    assert metrics["message_rate"] > 0

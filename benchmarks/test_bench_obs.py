@@ -61,6 +61,7 @@ def test_enabled_tracer_overhead_bounded():
 
 
 def test_same_seed_trace_is_byte_identical():
+    """Two same-seed traced runs export byte-identical Chrome JSON."""
     a = traced_run("fig3b", seed=5)
     b = traced_run("fig3b", seed=5)
     assert to_chrome_json(a.tracer) == to_chrome_json(b.tracer)
@@ -78,6 +79,7 @@ def test_same_seed_chaos_trace_is_byte_identical():
 
 
 def test_same_seed_chaos_csv_is_byte_identical():
+    """Two same-seed chaos runs emit byte-identical metrics CSV."""
     from repro.experiments.chaos import run_chaos
 
     kwargs = dict(drop_rates=(0.0, 0.05),
@@ -87,3 +89,11 @@ def test_same_seed_chaos_csv_is_byte_identical():
     b = run_chaos(**kwargs)
     assert a.to_csv() == b.to_csv()
     assert a.extra["retransmits"] == b.extra["retransmits"]
+
+
+def test_bench_obs_baseline(perf_baseline):
+    """Record trace + analysis fingerprints to the perf registry."""
+    metrics = perf_baseline("obs")
+    for exp in ("fig3a", "chaos"):
+        assert metrics[f"{exp}.spans"] > 0
+        assert len(metrics[f"{exp}.trace_sha"]) == 16

@@ -14,6 +14,7 @@ from repro.workloads import MultirateConfig, run_multirate
 
 
 def test_scheduler_event_throughput(benchmark):
+    """Host events/second through the bare scheduler loop."""
     N_THREADS, N_STEPS = 20, 500
 
     def run():
@@ -33,6 +34,7 @@ def test_scheduler_event_throughput(benchmark):
 
 
 def test_lock_contention_throughput(benchmark):
+    """Host throughput of contended SimLock handoffs."""
     N_THREADS, N_CRIT = 8, 200
 
     def run():
@@ -55,6 +57,7 @@ def test_lock_contention_throughput(benchmark):
 
 
 def test_matchqueue_throughput(benchmark):
+    """Host insert+match throughput of the exact-key match queue."""
     N = 2000
 
     def run():
@@ -72,6 +75,7 @@ def test_matchqueue_throughput(benchmark):
 
 
 def test_matchqueue_wildcard_throughput(benchmark):
+    """Host throughput with wildcard entries in the posted queue."""
     N = 1500
 
     def run():
@@ -88,6 +92,7 @@ def test_matchqueue_wildcard_throughput(benchmark):
 
 
 def test_end_to_end_messages_per_host_second(benchmark):
+    """Simulated messages per host second for one multirate run."""
     cfg = MultirateConfig(pairs=4, window=32, windows=2)
 
     def run():
@@ -95,3 +100,11 @@ def test_end_to_end_messages_per_host_second(benchmark):
 
     result = benchmark(run)
     assert result.messages == 256
+
+
+def test_bench_simcore_baseline(perf_baseline):
+    """Record the simulation-core invariants to the perf registry."""
+    metrics = perf_baseline("simcore")
+    assert metrics["sched_events"] > 0
+    assert metrics["lock_acquisitions"] == 1600
+    assert metrics["matchqueue_matched"] == 2000

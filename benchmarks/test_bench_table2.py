@@ -6,6 +6,7 @@ from repro.workloads import MultirateConfig, run_multirate
 
 
 def test_table2(benchmark, save_figure, quick):
+    """Time the serial 20-pair run behind Table II's SPC columns."""
     def one_cell():
         return run_multirate(
             MultirateConfig(pairs=20, window=64, windows=2),
@@ -18,3 +19,10 @@ def test_table2(benchmark, save_figure, quick):
     fig = run_table2(quick=quick)
     save_figure(fig)
     assert len(fig.series) == 9
+
+
+def test_bench_table2_baseline(perf_baseline):
+    """Record Table II's SPC metrics to the perf registry."""
+    metrics = perf_baseline("table2")
+    assert 0.0 <= metrics["oos_fraction"] <= 1.0
+    assert metrics["match_time_ns"] > 0

@@ -12,6 +12,10 @@ Examples::
     python -m repro run fig5 --jobs 4 --no-cache
     python -m repro trace fig3a --out trace.json
     python -m repro trace chaos --out chaos.json
+    python -m repro analyze fig3a
+    python -m repro analyze trace.json --out results/analysis
+    python -m repro perf check
+    python -m repro perf update --only fig6 --only fig7
 
 ``run`` executes its seeded trials through the experiment engine
 (:mod:`repro.engine`): ``--jobs N`` fans independent trials out over N
@@ -26,6 +30,19 @@ the virtual-time tracer attached and writes Chrome trace-event JSON --
 open it at https://ui.perfetto.dev (or ``chrome://tracing``) to see one
 track per simulated thread plus one per lock/CRI/queue.  Traces are
 byte-identical across runs with the same seed.
+
+``analyze`` is the offline counterpart (:mod:`repro.obs.analyze`): it
+takes either a traceable experiment id (re-running its seeded
+representative simulation) or an exported ``trace.json`` (no re-run at
+all) and reconstructs per-message latency decomposition, the critical
+path and lock blame tables; ``--out`` writes the deterministic CSVs +
+text report.
+
+``perf`` is the regression gate (:mod:`repro.perf`): ``check`` re-runs
+every deterministic probe and diffs it against the committed
+``results/BENCH_*.json`` baselines, ``update`` rewrites the baselines
+(preserving host wall-clock sections), ``list`` shows what is
+committed.  CI runs ``python -m repro perf check``.
 """
 
 from __future__ import annotations
@@ -103,6 +120,33 @@ def _build_parser() -> argparse.ArgumentParser:
                             "virtual time to <out>.metrics.csv")
     trace.add_argument("--top", type=int, default=12,
                        help="rows in the printed top-N report")
+
+    analyze = sub.add_parser(
+        "analyze", help="latency blame from a trace (offline; no re-run "
+                        "when given a trace.json)")
+    analyze.add_argument("source",
+                         help="a traceable experiment id, or the path of an "
+                              "exported trace.json")
+    analyze.add_argument("--out", type=pathlib.Path, default=None,
+                         help="write <name>.{messages,critical,blame,locks}"
+                              ".csv and <name>.report.txt here")
+    analyze.add_argument("--seed", type=int, default=1,
+                         help="seed when re-running an experiment id "
+                              "(ignored for trace files)")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="rows per table in the printed report")
+
+    perf = sub.add_parser(
+        "perf", help="deterministic performance baselines (the CI gate)")
+    perf.add_argument("action", choices=("check", "update", "list"),
+                      help="check: diff fresh probe runs against committed "
+                           "baselines; update: rewrite the deterministic "
+                           "sections; list: show committed baselines")
+    perf.add_argument("--results", type=pathlib.Path,
+                      default=pathlib.Path("results"),
+                      help="baseline directory (default results/)")
+    perf.add_argument("--only", action="append", default=None, metavar="NAME",
+                      help="restrict to one bench family (repeatable)")
     return parser
 
 
@@ -168,6 +212,59 @@ def _cmd_trace(args) -> int:
     print()
     print(top_report(run.tracer, n=args.top))
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.obs.analyze import analyze_file, analyze_tracer
+
+    source = pathlib.Path(args.source)
+    if source.suffix == ".json" or source.exists():
+        if not source.exists():
+            print(f"no such trace file: {source}", file=sys.stderr)
+            return 2
+        analysis = analyze_file(source)
+    else:
+        from repro.obs.scenarios import traced_run
+
+        try:
+            run = traced_run(args.source, seed=args.seed)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        analysis = analyze_tracer(run.tracer, name=args.source)
+    print(analysis.report(top=args.top))
+    if args.out is not None:
+        print()
+        for path in analysis.save(args.out):
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.perf import (PROBES, check_benches, list_benches, load_bench,
+                            render_report, update_benches)
+
+    names = args.only
+    if names:
+        unknown = sorted(set(names) - set(PROBES))
+        if unknown:
+            print(f"unknown bench families: {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(PROBES))})", file=sys.stderr)
+            return 2
+    if args.action == "list":
+        for path in list_benches(args.results):
+            doc = load_bench(path)
+            print(f"{doc['name']:<12} {len(doc['deterministic']):>3} "
+                  f"deterministic metrics, "
+                  f"{len(doc['host'])} host entries  ({path})")
+        return 0
+    if args.action == "update":
+        for name in update_benches(args.results, names=names):
+            print(f"updated {name}")
+        return 0
+    report = check_benches(args.results, names=names)
+    print(render_report(report))
+    return 0 if report.ok else 1
 
 
 def _build_engine(args):
@@ -260,5 +357,11 @@ def main(argv=None) -> int:
 
     if args.command == "trace":
         return _cmd_trace(args)
+
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+
+    if args.command == "perf":
+        return _cmd_perf(args)
 
     return _cmd_run(args)

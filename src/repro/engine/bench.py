@@ -1,48 +1,37 @@
-"""``BENCH_engine.json``: the serial-vs-parallel baseline trajectory.
+"""Engine wall-clock trajectory, now inside the baseline registry.
 
-The ROADMAP asks every perf-facing PR to leave a measurable trail; this
-module owns the schema.  Each entry records one exhibit timed three
-ways -- serial cold, parallel cold, warm cache -- plus the engine
-counters for the run.  ``benchmarks/test_bench_engine.py`` regenerates
-the file; later PRs append entries rather than overwrite history, so
-the JSON holds a ``trajectory`` list ordered oldest-first.
+Historically this module owned ``BENCH_engine.json`` outright (schema
+1: a bare ``trajectory`` list of wall-clock entries).  The baseline
+registry (:mod:`repro.perf.baseline`) replaced that layout with the
+deterministic/host split; what remains here is the engine bench's
+wall-clock *history*: a ``trajectory`` list under the document's
+``host`` section, ordered oldest-first, one entry per labelled
+measurement.  Entries are informational only -- the gated metrics (the
+engine's trial counts and byte-identical-CSV contract) live in the
+``deterministic`` section that :func:`repro.perf.probes.probe_engine`
+computes.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
-
-#: bump when the entry schema changes
-SCHEMA_VERSION = 1
+from repro.perf.baseline import bench_path, dump_bench, load_bench
 
 
-def load_baseline(path: pathlib.Path | str) -> dict:
-    """Read the baseline file; an absent/corrupt file yields a fresh doc."""
-    path = pathlib.Path(path)
-    try:
-        doc = json.loads(path.read_text())
-        if doc.get("schema") != SCHEMA_VERSION:
-            raise ValueError("schema mismatch")
-        if not isinstance(doc.get("trajectory"), list):
-            raise ValueError("missing trajectory")
-        return doc
-    except (OSError, ValueError):
-        return {"schema": SCHEMA_VERSION, "trajectory": []}
-
-
-def record_baseline(path: pathlib.Path | str, entry: dict) -> dict:
-    """Append ``entry`` to the trajectory and rewrite the file.
+def record_trajectory(results_dir, name: str, entry: dict) -> dict:
+    """Append ``entry`` to ``host.trajectory`` and rewrite the file.
 
     Entries with the same ``label`` replace the previous measurement so
     reruns of the bench refresh rather than duplicate; distinct labels
-    accumulate -- that is the trajectory.
+    accumulate -- that is the trajectory.  The ``deterministic``
+    section is left untouched.
     """
     if "label" not in entry:
-        raise ValueError("baseline entries need a 'label'")
-    path = pathlib.Path(path)
-    doc = load_baseline(path)
-    doc["trajectory"] = [e for e in doc["trajectory"]
-                         if e.get("label") != entry["label"]] + [entry]
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        raise ValueError("trajectory entries need a 'label'")
+    path = bench_path(results_dir, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = load_bench(path)
+    trajectory = [e for e in doc["host"].get("trajectory", [])
+                  if e.get("label") != entry["label"]]
+    doc["host"]["trajectory"] = trajectory + [entry]
+    path.write_text(dump_bench(doc))
     return doc

@@ -92,8 +92,12 @@ class MpiThreadEnv:
         traced = trc.enabled
         if traced:
             tid = trc.thread_track(self.sched.current)
+            # src/comm join the span to the receiver's match.arrival in
+            # the offline analyzer (repro.obs.analyze): the message key
+            # is (comm, src, dst, seq).
             trc.begin(tid, "send", "p2p", {"dst": dst, "tag": tag,
-                                           "nbytes": nbytes})
+                                           "nbytes": nbytes,
+                                           "src": self.rank, "comm": comm.id})
         # Sequence assignment happens *before* the instance lock -- the
         # race between assignment and injection is real (section II-C).
         seq = yield from state.send_seq(dst).fetch_add()

@@ -170,7 +170,14 @@ class MatchingEngine:
         yield Delay(work)
         yield from self.lock.release()
         if traced:
-            trc.end(tid, {"outcome": "unexpected-hit" if m else "posted"})
+            if m is not None:
+                # Name the exact message this post delivered so the
+                # analyzer can date unexpected-queue residence.
+                trc.end(tid, {"outcome": "unexpected-hit",
+                              "src": env.src, "seq": env.seq,
+                              "dst": self.process.rank, "comm": self.comm.id})
+            else:
+                trc.end(tid, {"outcome": "posted"})
             self._trace_depths(trc)
 
     def probe_unexpected(self, src: int, tag: int, remove: bool = False):
@@ -216,7 +223,8 @@ class MatchingEngine:
         if traced:
             tid = trc.thread_track(self.sched.current)
             trc.begin(tid, "match.arrival", "match",
-                      {"src": env.src, "seq": env.seq})
+                      {"src": env.src, "seq": env.seq,
+                       "dst": self.process.rank, "comm": self.comm.id})
         outcome = "expected"
         yield from self.lock.acquire()
         work = self._migration()

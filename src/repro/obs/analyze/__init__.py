@@ -1,0 +1,121 @@
+"""Offline trace analysis: latency blame without re-running anything.
+
+The PR-1 tracer records *everything* the paper's diagnosis needs --
+who held which lock when, when each message posted, matched and
+completed -- but a raw trace answers no questions by itself.  This
+package turns one recorded run (a live
+:class:`~repro.obs.tracer.Tracer` or an exported ``trace.json``) into:
+
+* a **per-message latency decomposition** (:mod:`.messages`): post ->
+  injection -> transfer -> matching -> completion, with lock-wait and
+  queue-wait time split out per message;
+* the **critical path** (:mod:`.critical`): the dependency chain of
+  segments that ended the run when it did, lock waits attributed to
+  the blocking holder;
+* **lock blame tables** (:mod:`.blame`): per (lock, waiter, holder)
+  wait attribution plus convoy detection via hold/wait overlap;
+* deterministic **CSV artifacts and a text report** (:mod:`.report`),
+  byte-identical across same-seed runs -- the CLI surface is
+  ``python -m repro analyze <exp|trace.json>``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.obs.analyze.blame import LockStats, lock_blame
+from repro.obs.analyze.critical import Segment, critical_path
+from repro.obs.analyze.messages import (MessageRecord, reconstruct_messages,
+                                        stage_totals)
+from repro.obs.analyze.model import (TraceModel, from_chrome_doc, from_tracer,
+                                     load_trace, validate_events)
+from repro.obs.analyze.report import (blame_csv, critical_csv, locks_csv,
+                                      messages_csv, text_report)
+
+__all__ = [
+    "Analysis",
+    "LockStats",
+    "MessageRecord",
+    "Segment",
+    "TraceModel",
+    "analyze_file",
+    "analyze_model",
+    "analyze_tracer",
+    "from_chrome_doc",
+    "from_tracer",
+    "load_trace",
+    "lock_blame",
+    "stage_totals",
+    "validate_events",
+]
+
+
+@dataclass
+class Analysis:
+    """One analyzed run: reconstructed facts plus their renderings."""
+
+    name: str
+    model: TraceModel
+    messages: list[MessageRecord] = field(default_factory=list)
+    segments: list[Segment] = field(default_factory=list)
+    locks: list[LockStats] = field(default_factory=list)
+
+    def messages_csv(self) -> str:
+        """Per-message decomposition CSV (deterministic bytes)."""
+        return messages_csv(self.messages)
+
+    def critical_csv(self) -> str:
+        """Critical-path CSV (deterministic bytes)."""
+        return critical_csv(self.segments)
+
+    def blame_csv(self) -> str:
+        """Lock blame-triple CSV (deterministic bytes)."""
+        return blame_csv(self.locks)
+
+    def locks_csv(self) -> str:
+        """Per-lock aggregate CSV (deterministic bytes)."""
+        return locks_csv(self.locks)
+
+    def report(self, top: int = 10) -> str:
+        """The human-readable summary."""
+        return text_report(self.name, self.model.virtual_time_ns,
+                           self.messages, self.segments, self.locks, top=top)
+
+    def save(self, out_dir, stem: str | None = None) -> list[pathlib.Path]:
+        """Write the four CSVs + report under ``out_dir``; returns paths."""
+        out_dir = pathlib.Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        stem = stem or self.name
+        artifacts = {
+            f"{stem}.messages.csv": self.messages_csv(),
+            f"{stem}.critical.csv": self.critical_csv(),
+            f"{stem}.blame.csv": self.blame_csv(),
+            f"{stem}.locks.csv": self.locks_csv(),
+            f"{stem}.report.txt": self.report() + "\n",
+        }
+        paths = []
+        for filename, content in artifacts.items():
+            path = out_dir / filename
+            path.write_text(content)
+            paths.append(path)
+        return paths
+
+
+def analyze_model(model: TraceModel, name: str = "trace") -> Analysis:
+    """Analyze a normalized trace model."""
+    messages = reconstruct_messages(model)
+    return Analysis(name=name, model=model, messages=messages,
+                    segments=critical_path(model, messages),
+                    locks=lock_blame(model))
+
+
+def analyze_tracer(tracer, name: str = "trace") -> Analysis:
+    """Analyze a live tracer straight after a run."""
+    return analyze_model(from_tracer(tracer), name=name)
+
+
+def analyze_file(path) -> Analysis:
+    """Analyze an exported ``trace.json`` (the no-re-run path)."""
+    path = pathlib.Path(path)
+    return analyze_model(load_trace(path), name=path.stem)

@@ -1,0 +1,244 @@
+"""Per-message latency decomposition from recorded spans.
+
+Every two-sided message leaves three dated footprints in a trace:
+
+* the sender's ``send`` span (post -> injection, including any CRI
+  lock wait nested inside it);
+* the receiver's ``match.arrival`` span (CQ dispatch -> matching done,
+  including the match-lock wait nested inside it);
+* optionally a ``match.post`` span with ``outcome=unexpected-hit``
+  naming the message it pulled from the unexpected queue.
+
+The spans join on the message key ``(comm, src, dst, seq)`` carried in
+their args.  Out-of-sequence buffering is reconstructed by replaying
+the matching engine's sequence logic per ``(comm, src, dst)`` stream:
+a buffered message is delivered by the in-sequence arrival that drains
+it, and the gap is charged to ``queue_wait_ns``.  Unexpected messages
+are charged queue wait until the claiming receive posts.
+
+The result is one :class:`MessageRecord` per send with the stage
+decomposition the paper's blame methodology implies: sender time (lock
+wait split out), wire+CQ transfer, matching time (lock wait split out)
+and queue wait, all in exact virtual nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.analyze.model import Span, TraceModel
+
+#: outcome labels, in the order the report tabulates them
+OUTCOMES = ("delivered", "unexpected", "oos-drained", "rendezvous",
+            "duplicate", "unmatched")
+
+
+@dataclass
+class MessageRecord:
+    """One message's reconstructed lifecycle (all times virtual ns)."""
+
+    comm: int
+    src: int
+    dst: int
+    seq: int
+    tag: int
+    nbytes: int
+    proto: str               #: "eager" or "rndv"
+    outcome: str             #: one of :data:`OUTCOMES`
+    sender_label: str        #: sender thread's track label
+    posted_ns: int           #: send span start (post time)
+    injected_ns: int         #: send span end (handed to the wire)
+    sender_lock_wait_ns: int
+    arrival_ns: int | None = None      #: match.arrival span start
+    matched_ns: int | None = None      #: matching done (own or draining span end)
+    match_lock_wait_ns: int = 0
+    delivered_ns: int | None = None    #: receive completed
+    matcher_label: str = ""            #: thread that ran the matching
+
+    @property
+    def sender_ns(self) -> int:
+        """Sender-side time from post to injection."""
+        return self.injected_ns - self.posted_ns
+
+    @property
+    def transfer_ns(self) -> int | None:
+        """Wire plus CQ-residence time from injection to dispatch."""
+        if self.arrival_ns is None:
+            return None
+        return self.arrival_ns - self.injected_ns
+
+    @property
+    def match_ns(self) -> int | None:
+        """Time inside the matching path (lock wait included)."""
+        if self.arrival_ns is None or self.matched_ns is None:
+            return None
+        return self.matched_ns - self.arrival_ns
+
+    @property
+    def queue_wait_ns(self) -> int | None:
+        """Residence in the OOS buffer / unexpected queue after matching."""
+        if self.matched_ns is None or self.delivered_ns is None:
+            return None
+        return self.delivered_ns - self.matched_ns
+
+    @property
+    def total_ns(self) -> int | None:
+        """Post-to-completion latency."""
+        if self.delivered_ns is None:
+            return None
+        return self.delivered_ns - self.posted_ns
+
+
+def _contained_wait_ns(waits: list[Span], outer: Span) -> int:
+    """Total lock-wait time of ``waits`` nested inside ``outer``."""
+    return sum(w.dur_ns for w in waits
+               if w.start_ns >= outer.start_ns and w.end_ns <= outer.end_ns)
+
+
+def _key(span: Span) -> tuple | None:
+    """The message key ``(comm, src, dst, seq)`` from a span's args."""
+    args = span.args or {}
+    try:
+        return (args["comm"], args["src"], args["dst"], args["seq"])
+    except KeyError:
+        return None
+
+
+def reconstruct_messages(model: TraceModel) -> list[MessageRecord]:
+    """All message records, sorted by ``(comm, src, dst, seq)``.
+
+    Sends that never produced a (non-duplicate) arrival -- dropped by
+    the fault plan and never retransmitted successfully, or still in
+    flight at the end of the run -- come out as ``unmatched``.
+    """
+    waits_by_tid: dict[int, list[Span]] = {}
+    for s in model.spans_in_cat("lock-wait"):
+        waits_by_tid.setdefault(s.tid, []).append(s)
+
+    records: dict[tuple, MessageRecord] = {}
+    for send in model.spans_named("send"):
+        args = send.args or {}
+        key = (args.get("comm"), args.get("src"), args.get("dst"),
+               args.get("seq"))
+        if None in key:
+            continue  # pre-analyzer trace without join keys
+        records[key] = MessageRecord(
+            comm=key[0], src=key[1], dst=key[2], seq=key[3],
+            tag=args.get("tag", 0), nbytes=args.get("nbytes", 0),
+            proto=args.get("proto", "eager"), outcome="unmatched",
+            sender_label=model.label(send.tid),
+            posted_ns=send.start_ns, injected_ns=send.end_ns,
+            sender_lock_wait_ns=_contained_wait_ns(
+                waits_by_tid.get(send.tid, []), send))
+
+    # Unexpected-queue claims: message key -> claiming post span.
+    claims: dict[tuple, Span] = {}
+    for post in model.spans_named("match.post"):
+        if post.arg("outcome") == "unexpected-hit":
+            key = _key(post)
+            if key is not None and key not in claims:
+                claims[key] = post
+
+    # Replay each (comm, src, dst) stream's sequence logic in the order
+    # the engine processed the arrivals.  That is lock-acquisition
+    # order, which span *end* times preserve (the match lock serializes
+    # the critical sections); span starts do not, because a span opens
+    # before the lock wait.
+    arrivals: dict[tuple, list[Span]] = {}
+    for arr in sorted(model.spans_named("match.arrival"),
+                      key=lambda s: (s.end_ns, s.index)):
+        args = arr.args or {}
+        stream = (args.get("comm"), args.get("src"), args.get("dst"))
+        if None in stream:
+            continue
+        arrivals.setdefault(stream, []).append(arr)
+
+    for stream, stream_arrivals in sorted(arrivals.items()):
+        comm, src, dst = stream
+        buffered: dict[int, MessageRecord] = {}
+        for arr in stream_arrivals:
+            seq = arr.arg("seq")
+            outcome = arr.arg("outcome", "expected")
+            rec = records.get((comm, src, dst, seq))
+            if rec is None:
+                continue  # e.g. collective traffic with untraced sends
+            if outcome == "duplicate":
+                if rec.arrival_ns is None:
+                    rec.outcome = "duplicate"
+                continue
+            if rec.arrival_ns is None:
+                rec.arrival_ns = arr.start_ns
+                rec.match_lock_wait_ns = _contained_wait_ns(
+                    waits_by_tid.get(arr.tid, []), arr)
+                rec.matcher_label = model.label(arr.tid)
+            if outcome == "oos-buffered":
+                buffered[seq] = rec
+                continue
+            # In sequence (or overtaking): matched by its own arrival.
+            rec.matched_ns = arr.end_ns
+            rec.outcome = "delivered"
+            # Drain buffered successors exactly as the engine does.
+            nxt = seq + 1
+            while nxt in buffered:
+                drained = buffered.pop(nxt)
+                drained.matched_ns = arr.end_ns
+                drained.outcome = "oos-drained"
+                nxt += 1
+        # A message still buffered at the end never completed.
+        for rec in buffered.values():
+            rec.outcome = "unmatched"
+
+    for key, rec in records.items():
+        if rec.matched_ns is None:
+            continue
+        claim = claims.get(key)
+        if claim is not None:
+            rec.delivered_ns = claim.end_ns
+            if rec.outcome == "delivered":
+                rec.outcome = "unexpected"
+        else:
+            rec.delivered_ns = rec.matched_ns
+        if rec.proto == "rndv":
+            # Only the RTS handshake is dated; the bulk payload's
+            # completion happens outside the matching path.
+            rec.outcome = "rendezvous"
+    return sorted(records.values(),
+                  key=lambda r: (r.comm, r.src, r.dst, r.seq))
+
+
+def stage_totals(messages: list[MessageRecord]) -> dict:
+    """Aggregate stage decomposition over the completed messages.
+
+    Returns totals (ns) per stage -- sender work, sender lock wait,
+    transfer, match work, match lock wait, queue wait -- plus latency
+    summary statistics, for the text report.
+    """
+    done = [m for m in messages if m.total_ns is not None]
+    totals = {"messages": len(messages), "completed": len(done),
+              "sender_ns": 0, "sender_lock_wait_ns": 0, "transfer_ns": 0,
+              "match_ns": 0, "match_lock_wait_ns": 0, "queue_wait_ns": 0}
+    outcome_counts = {o: 0 for o in OUTCOMES}
+    for m in messages:
+        if m.outcome in outcome_counts:
+            outcome_counts[m.outcome] += 1
+    totals["outcomes"] = outcome_counts
+    if not done:
+        totals["total_ns"] = {"sum": 0, "mean": 0.0, "p50": 0, "p99": 0,
+                              "max": 0}
+        return totals
+    for m in done:
+        totals["sender_ns"] += m.sender_ns - m.sender_lock_wait_ns
+        totals["sender_lock_wait_ns"] += m.sender_lock_wait_ns
+        totals["transfer_ns"] += m.transfer_ns
+        totals["match_ns"] += m.match_ns - m.match_lock_wait_ns
+        totals["match_lock_wait_ns"] += m.match_lock_wait_ns
+        totals["queue_wait_ns"] += m.queue_wait_ns
+    lat = sorted(m.total_ns for m in done)
+    totals["total_ns"] = {
+        "sum": sum(lat),
+        "mean": sum(lat) / len(lat),
+        "p50": lat[len(lat) // 2],
+        "p99": lat[min(len(lat) - 1, (len(lat) * 99) // 100)],
+        "max": lat[-1],
+    }
+    return totals

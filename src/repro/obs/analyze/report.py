@@ -1,0 +1,159 @@
+"""Deterministic CSV and text renderings of one analysis.
+
+All CSV writers emit sorted rows with integer nanoseconds (derived
+ratios use fixed decimals), so two same-seed runs -- or a live-tracer
+run and a re-analysis of its exported ``trace.json`` -- produce
+byte-identical files.  The text report is the human summary the CLI
+prints: stage decomposition, critical-path breakdown, lock blame and
+convoy tables.
+"""
+
+from __future__ import annotations
+
+from repro.obs.analyze.blame import LockStats
+from repro.obs.analyze.critical import Segment, critical_totals
+from repro.obs.analyze.messages import MessageRecord, stage_totals
+
+#: messages.csv column order (stable schema; append-only)
+MESSAGE_COLUMNS = (
+    "comm", "src", "dst", "seq", "tag", "nbytes", "proto", "outcome",
+    "sender", "matcher", "posted_ns", "injected_ns", "sender_ns",
+    "sender_lock_wait_ns", "transfer_ns", "arrival_ns", "match_ns",
+    "match_lock_wait_ns", "queue_wait_ns", "delivered_ns", "total_ns",
+)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def messages_csv(messages: list[MessageRecord]) -> str:
+    """The per-message decomposition table (one row per send)."""
+    lines = [",".join(MESSAGE_COLUMNS)]
+    for m in messages:
+        row = (m.comm, m.src, m.dst, m.seq, m.tag, m.nbytes, m.proto,
+               m.outcome, m.sender_label, m.matcher_label, m.posted_ns,
+               m.injected_ns, m.sender_ns, m.sender_lock_wait_ns,
+               m.transfer_ns, m.arrival_ns, m.match_ns,
+               m.match_lock_wait_ns, m.queue_wait_ns, m.delivered_ns,
+               m.total_ns)
+        lines.append(",".join(_cell(v) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def critical_csv(segments: list[Segment]) -> str:
+    """The critical path, one chronological segment per row."""
+    lines = ["step,start_ns,end_ns,dur_ns,kind,where,what,detail"]
+    for i, seg in enumerate(segments):
+        lines.append(",".join(_cell(v) for v in (
+            i, seg.start_ns, seg.end_ns, seg.dur_ns, seg.kind,
+            seg.where.replace(",", ";"), seg.what.replace(",", ";"),
+            seg.detail.replace(",", ";"))))
+    return "\n".join(lines) + "\n"
+
+
+def blame_csv(locks: list[LockStats]) -> str:
+    """The (lock, waiter, holder) blame triples, heaviest lock first."""
+    lines = ["lock,waiter,holder,blamed_ns,waits"]
+    for stats in locks:
+        for (waiter, holder), (ns, count) in sorted(
+                stats.blame.items(), key=lambda kv: (-kv[1][0], kv[0])):
+            lines.append(",".join(_cell(v) for v in (
+                stats.label, waiter, holder, ns, count)))
+    return "\n".join(lines) + "\n"
+
+
+def locks_csv(locks: list[LockStats]) -> str:
+    """The per-lock aggregate table (wait/hold/convoy columns)."""
+    lines = ["lock,acquisitions,contended,waits,hold_ns,wait_ns,"
+             "max_waiters,convoy_episodes,convoy_ns"]
+    for s in locks:
+        lines.append(",".join(_cell(v) for v in (
+            s.label, s.acquisitions, s.contended, s.waits, s.hold_ns,
+            s.wait_ns, s.max_waiters, s.convoy_episodes, s.convoy_ns)))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# text report
+# ----------------------------------------------------------------------
+def _ms(ns) -> str:
+    return f"{ns / 1e6:.3f}"
+
+
+def text_report(name: str, virtual_ns: int,
+                messages: list[MessageRecord],
+                segments: list[Segment],
+                locks: list[LockStats], top: int = 10) -> str:
+    """The human-readable analysis summary the CLI prints."""
+    lines = [f"analysis: {name} -- {virtual_ns} ns virtual, "
+             f"{len(messages)} messages, {len(segments)} critical-path "
+             f"segments, {len(locks)} contended/held locks"]
+
+    totals = stage_totals(messages)
+    if totals["completed"]:
+        lines.append("")
+        lines.append("message latency decomposition (sum over "
+                     f"{totals['completed']} completed messages):")
+        stage_sum = sum(totals[k] for k in (
+            "sender_ns", "sender_lock_wait_ns", "transfer_ns", "match_ns",
+            "match_lock_wait_ns", "queue_wait_ns"))
+        lines.append(f"  {'stage':<18} {'total_ms':>10} {'share':>7}")
+        for key, label in (("sender_ns", "sender work"),
+                           ("sender_lock_wait_ns", "sender lock wait"),
+                           ("transfer_ns", "wire transfer"),
+                           ("match_ns", "match work"),
+                           ("match_lock_wait_ns", "match lock wait"),
+                           ("queue_wait_ns", "queue wait")):
+            share = totals[key] / stage_sum if stage_sum else 0.0
+            lines.append(f"  {label:<18} {_ms(totals[key]):>10} "
+                         f"{share:>6.1%}")
+        t = totals["total_ns"]
+        lines.append(f"  per-message total: mean {t['mean'] / 1e3:.2f} us, "
+                     f"p50 {t['p50'] / 1e3:.2f} us, "
+                     f"p99 {t['p99'] / 1e3:.2f} us, "
+                     f"max {t['max'] / 1e3:.2f} us")
+        counted = ", ".join(f"{k}={v}" for k, v in
+                            totals["outcomes"].items() if v)
+        lines.append(f"  outcomes: {counted}")
+
+    if segments:
+        span = segments[-1].end_ns - segments[0].start_ns
+        covered = sum(s.dur_ns for s in segments)
+        lines.append("")
+        lines.append(f"critical path: {len(segments)} segments spanning "
+                     f"{_ms(span)} ms ({covered / span if span else 0.0:.1%} "
+                     "attributed)")
+        lines.append(f"  {'kind':<12} {'total_ms':>10}")
+        for kind, ns in critical_totals(segments).items():
+            lines.append(f"  {kind:<12} {_ms(ns):>10}")
+        worst = sorted(segments, key=lambda s: (-s.dur_ns, s.start_ns))[:top]
+        lines.append("  longest segments:")
+        for seg in worst:
+            detail = f" <- {seg.detail}" if seg.detail else ""
+            lines.append(f"    {_ms(seg.dur_ns):>9} ms {seg.kind:<10} "
+                         f"{seg.what} on {seg.where}{detail}")
+
+    if locks:
+        lines.append("")
+        lines.append(f"lock blame (top {top}):")
+        lines.append(f"  {'lock':<22} {'wait_ms':>9} {'hold_ms':>9} "
+                     f"{'acq':>7} {'convoys':>7} {'max_wtrs':>8}")
+        for s in locks[:top]:
+            lines.append(f"  {s.label:<22} {_ms(s.wait_ns):>9} "
+                         f"{_ms(s.hold_ns):>9} {s.acquisitions:>7} "
+                         f"{s.convoy_episodes:>7} {s.max_waiters:>8}")
+        triples = [(stats.label, waiter, holder, ns)
+                   for stats in locks
+                   for (waiter, holder), (ns, _) in stats.blame.items()]
+        triples.sort(key=lambda t: (-t[3], t[0], t[1], t[2]))
+        if triples:
+            lines.append("  heaviest waiter -> holder edges:")
+            for lock, waiter, holder, ns in triples[:top]:
+                lines.append(f"    {_ms(ns):>9} ms  {waiter} -> {holder} "
+                             f"on {lock}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Chrome trace-export well-formedness against the schema checker.
+
+``validate_events`` enforces what the Perfetto/Chrome loader silently
+tolerates-or-mangles: known ``ph`` codes, integer ``pid``/``tid``,
+non-negative per-track monotonic timestamps and balanced B/E nesting.
+The seeded representative exports (fig3a: heavy matching contention;
+chaos: fault instants and retransmit spans) must come out finding-free,
+and hand-corrupted event lists must not.
+"""
+
+import pytest
+
+from repro.obs.analyze import validate_events
+from repro.obs.export import trace_events
+from repro.obs.scenarios import traced_run
+
+
+@pytest.mark.parametrize("exp_id", ["fig3a", "chaos"])
+def test_seeded_export_is_well_formed(exp_id):
+    run = traced_run(exp_id)
+    events = trace_events(run.tracer)
+    assert events, "export produced no events"
+    assert validate_events(events) == []
+
+
+def test_unknown_phase_is_flagged():
+    findings = validate_events([{"ph": "Z", "pid": 1, "tid": 1, "ts": 0}])
+    assert any("unknown phase" in f for f in findings)
+
+
+def test_non_integer_ids_are_flagged():
+    findings = validate_events(
+        [{"ph": "i", "pid": "one", "tid": 1.5, "ts": 0, "name": "x"}])
+    assert sum("is not an integer" in f for f in findings) == 2
+
+
+def test_negative_and_backwards_timestamps_are_flagged():
+    events = [
+        {"ph": "i", "pid": 1, "tid": 1, "ts": -1, "name": "x"},
+        {"ph": "i", "pid": 1, "tid": 2, "ts": 10, "name": "x"},
+        {"ph": "i", "pid": 1, "tid": 2, "ts": 5, "name": "x"},
+    ]
+    findings = validate_events(events)
+    assert any("bad timestamp" in f for f in findings)
+    assert any("goes backwards" in f for f in findings)
+
+
+def test_unbalanced_spans_are_flagged():
+    begin = {"ph": "B", "pid": 1, "tid": 1, "ts": 0, "name": "x"}
+    end = {"ph": "E", "pid": 1, "tid": 1, "ts": 1}
+    assert validate_events([begin, end]) == []
+    assert any("unbalanced B" in f for f in validate_events([begin]))
+    assert any("E without matching B" in f for f in validate_events([end]))
+
+
+def test_negative_duration_is_flagged():
+    events = [{"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": -2,
+               "name": "x"}]
+    assert any("negative duration" in f for f in validate_events(events))
+
+
+def test_metadata_events_need_no_timestamp():
+    events = [{"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+               "args": {"name": "t"}}]
+    assert validate_events(events) == []

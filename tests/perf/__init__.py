@@ -1,0 +1,1 @@
+"""Tests for the performance-baseline registry (repro.perf)."""

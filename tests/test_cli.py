@@ -174,3 +174,87 @@ def test_non_positive_jobs_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["run", "fig3a", "--jobs", "0"])
     assert "positive" in capsys.readouterr().err
+
+
+def test_analyze_experiment_prints_report(capsys):
+    assert main(["analyze", "fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "analysis: fig6" in out
+    assert "critical path:" in out
+
+
+def test_analyze_writes_artifacts(tmp_path, capsys):
+    out_dir = tmp_path / "analysis"
+    assert main(["analyze", "fig6", "--out", str(out_dir)]) == 0
+    for suffix in ("messages.csv", "critical.csv", "blame.csv",
+                   "locks.csv", "report.txt"):
+        assert (out_dir / f"fig6.{suffix}").exists()
+
+
+def test_analyze_trace_file_without_rerun(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(["trace", "fig6", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(trace)]) == 0
+    assert "analysis: t" in capsys.readouterr().out
+
+
+def test_analyze_unknown_experiment(capsys):
+    assert main(["analyze", "fig99"]) == 2
+    assert "no traced scenario" in capsys.readouterr().err
+
+
+def test_analyze_missing_trace_file(capsys):
+    assert main(["analyze", "gone.json"]) == 2
+    assert "no such trace file" in capsys.readouterr().err
+
+
+def test_perf_update_then_check_round_trip(tmp_path, capsys):
+    results = tmp_path / "results"
+    assert main(["perf", "update", "--results", str(results),
+                 "--only", "fig6"]) == 0
+    assert main(["perf", "check", "--results", str(results),
+                 "--only", "fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "updated fig6" in out
+    assert "1/1 families pass" in out
+
+
+def test_perf_check_fails_on_drift(tmp_path, capsys):
+    import json
+    results = tmp_path / "results"
+    assert main(["perf", "update", "--results", str(results),
+                 "--only", "fig6"]) == 0
+    path = results / "BENCH_fig6.json"
+    doc = json.loads(path.read_text())
+    doc["deterministic"]["elapsed_ns"] += 7
+    path.write_text(json.dumps(doc))
+    assert main(["perf", "check", "--results", str(results),
+                 "--only", "fig6"]) == 1
+    out = capsys.readouterr().out
+    assert "drifted" in out and "FAILED" in out
+
+
+def test_perf_list_shows_committed_baselines(tmp_path, capsys):
+    results = tmp_path / "results"
+    assert main(["perf", "update", "--results", str(results),
+                 "--only", "fig7"]) == 0
+    assert main(["perf", "list", "--results", str(results)]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "deterministic metrics" in out
+
+
+def test_perf_unknown_family_rejected(capsys):
+    assert main(["perf", "check", "--only", "nope"]) == 2
+    assert "unknown bench families" in capsys.readouterr().err
+
+
+def test_committed_baselines_pass_the_gate(capsys):
+    # the acceptance criterion: a fresh checkout's committed baselines
+    # match recomputation (fast families only; CI runs the full gate)
+    import pathlib
+    results = pathlib.Path(__file__).resolve().parents[1] / "results"
+    assert main(["perf", "check", "--results", str(results),
+                 "--only", "fig6", "--only", "simcore",
+                 "--only", "table1"]) == 0
+    assert "3/3 families pass" in capsys.readouterr().out

@@ -1,9 +1,10 @@
 """Docstring coverage must not regress (see tools/lint_docstrings.py).
 
 The linter is a dependency-free pydocstyle subset: every public module,
-class, method, and function under ``src/repro`` needs a docstring.  CI
-also runs the tool directly; this test keeps the contract enforceable
-from a plain pytest run.
+class, method, and function under ``src/repro``, ``benchmarks`` and
+``tools`` needs a docstring (unit tests under a ``tests`` directory are
+exempt; the benches are not).  CI also runs the tool directly; this
+test keeps the contract enforceable from a plain pytest run.
 """
 
 import pathlib
@@ -23,6 +24,22 @@ def test_src_repro_is_docstring_clean():
 def test_tools_are_docstring_clean():
     findings = lint_roots([REPO / "tools"])
     assert findings == [], "\n".join(findings)
+
+
+def test_benchmarks_are_docstring_clean():
+    findings = lint_roots([REPO / "benchmarks"])
+    assert findings == [], "\n".join(findings)
+
+
+def test_unit_tests_are_exempt_but_benches_are_not(tmp_path):
+    (tmp_path / "tests").mkdir()
+    (tmp_path / "tests" / "test_x.py").write_text("def test_x():\n    pass\n")
+    (tmp_path / "benchmarks").mkdir()
+    (tmp_path / "benchmarks" / "test_bench_x.py").write_text(
+        "def test_b():\n    pass\n")
+    assert lint_roots([tmp_path / "tests"]) == []
+    findings = lint_roots([tmp_path / "benchmarks"])
+    assert any("D103" in f for f in findings)
 
 
 def test_linter_flags_a_bad_module(tmp_path):

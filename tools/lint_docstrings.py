@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Docstring lint: a dependency-free pydocstyle subset for this repo.
 
-Checks every ``.py`` file under the given roots (default ``src/repro``)
-and reports:
+Checks every ``.py`` file under the given roots (default ``src/repro``,
+``benchmarks`` and ``tools``) and reports:
 
 * ``D100`` -- module missing a docstring;
 * ``D101`` -- public class missing a docstring;
@@ -13,8 +13,10 @@ and reports:
 
 "Public" means the name (and every enclosing scope) has no leading
 underscore; ``__init__`` and other dunders are exempt, as are nested
-(function-local) definitions and test files.  Exit status is the number
-of findings, so CI fails when coverage regresses.
+(function-local) definitions and unit-test files (``test_*`` under a
+``tests`` directory -- the benchmark suite's ``test_bench_*`` files are
+documentation-bearing exhibits and *are* linted).  Exit status is the
+number of findings, so CI fails when coverage regresses.
 
 Usage::
 
@@ -84,7 +86,9 @@ def lint_roots(roots) -> list[str]:
         root = pathlib.Path(root)
         paths = sorted(root.rglob("*.py")) if root.is_dir() else [root]
         for path in paths:
-            if path.name.startswith("test_"):
+            # Unit tests are exempt; benches (test_bench_* outside any
+            # tests/ directory) are not.
+            if path.name.startswith("test_") and "tests" in path.parts:
                 continue
             findings += lint_file(path)
     return findings
@@ -92,7 +96,8 @@ def lint_roots(roots) -> list[str]:
 
 def main(argv=None) -> int:
     """CLI entry point; returns the number of findings."""
-    roots = (argv if argv else sys.argv[1:]) or ["src/repro"]
+    roots = (argv if argv else sys.argv[1:]) or ["src/repro", "benchmarks",
+                                                 "tools"]
     findings = lint_roots(roots)
     for finding in findings:
         print(finding)
