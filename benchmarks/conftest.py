@@ -57,17 +57,33 @@ def save_figure():
     return _save
 
 
+#: trajectory entries kept per baseline (oldest dropped first)
+TRAJECTORY_CAP = 40
+
+
 @pytest.fixture(scope="session")
 def perf_baseline():
-    """Record one family's baseline: probed metrics + host wall-clock."""
-    from repro.perf import run_probe, write_bench
+    """Record one family's baseline: probed metrics + host wall-clock.
+
+    Besides refreshing the flat host fields, each recording appends a
+    ``host.trajectory`` entry (wall seconds + interpreter version,
+    capped at :data:`TRAJECTORY_CAP`) so ``repro perf report`` can draw
+    per-family sparklines of how probe cost evolves across recordings.
+    """
+    from repro.perf import bench_path, load_bench, run_probe, write_bench
 
     def _record(name: str, host: dict | None = None) -> dict:
         t0 = time.perf_counter()
         deterministic = run_probe(name)
+        wall_s = round(time.perf_counter() - t0, 3)
+        trajectory = list(load_bench(bench_path(RESULTS_DIR, name))
+                          .get("host", {}).get("trajectory", []))
+        trajectory.append({"probe_wall_s": wall_s,
+                           "python": platform.python_version()})
         host_section = {
-            "probe_wall_s": round(time.perf_counter() - t0, 3),
+            "probe_wall_s": wall_s,
             "python": platform.python_version(),
+            "trajectory": trajectory[-TRAJECTORY_CAP:],
             **(host or {}),
         }
         path = write_bench(RESULTS_DIR, name, deterministic,

@@ -136,17 +136,52 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top", type=int, default=10,
                          help="rows per table in the printed report")
 
+    profile = sub.add_parser(
+        "profile", help="host-time profile of one experiment's "
+                        "representative run (sys.setprofile)")
+    profile.add_argument("experiment", help="a traceable experiment id")
+    profile.add_argument("--seed", type=int, default=1,
+                        help="simulation seed (call/event counts are "
+                             "byte-identical per seed)")
+    profile.add_argument("--phases", type=int, default=8, metavar="N",
+                        help="virtual-time phases to attribute host time "
+                             "to (default 8)")
+    profile.add_argument("--micro", action="store_true",
+                        help="scaled-down scenario shape (fast; used by "
+                             "the CI profile smoke)")
+    profile.add_argument("--top", type=int, default=12,
+                        help="rows per table in the printed report")
+    profile.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write <exp>.{profile,counters,folded}.txt + "
+                             "<exp>.flame.svg + manifest.json here")
+    profile.add_argument("--folded", action="store_true",
+                        help="print the collapsed-stack (folded) output "
+                             "instead of the report")
+    profile.add_argument("--svg", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="also write the flamegraph SVG to PATH")
+
     perf = sub.add_parser(
         "perf", help="deterministic performance baselines (the CI gate)")
-    perf.add_argument("action", choices=("check", "update", "list"),
+    perf.add_argument("action", choices=("check", "update", "list", "report"),
                       help="check: diff fresh probe runs against committed "
                            "baselines; update: rewrite the deterministic "
-                           "sections; list: show committed baselines")
+                           "sections; list: show committed baselines; "
+                           "report: build the HTML trajectory dashboard")
     perf.add_argument("--results", type=pathlib.Path,
                       default=pathlib.Path("results"),
                       help="baseline directory (default results/)")
     perf.add_argument("--only", action="append", default=None, metavar="NAME",
                       help="restrict to one bench family (repeatable)")
+    perf.add_argument("--json", action="store_true",
+                      help="check: print the machine-readable report "
+                           "(the format CI and the dashboard consume)")
+    perf.add_argument("--out", type=pathlib.Path, default=None,
+                      help="report: output HTML path "
+                           "(default results/perf_report.html)")
+    perf.add_argument("--no-check", action="store_true",
+                      help="report: skip re-running the probes; render "
+                           "trajectories only")
     return parser
 
 
@@ -241,8 +276,10 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_perf(args) -> int:
+    import json
+
     from repro.perf import (PROBES, check_benches, list_benches, load_bench,
-                            render_report, update_benches)
+                            render_report, report_json, update_benches)
 
     names = args.only
     if names:
@@ -262,9 +299,68 @@ def _cmd_perf(args) -> int:
         for name in update_benches(args.results, names=names):
             print(f"updated {name}")
         return 0
+    if args.action == "report":
+        from repro.obs.dashboard import save_dashboard
+
+        report = None
+        if not args.no_check:
+            report = check_benches(args.results, names=names)
+        out = args.out if args.out is not None \
+            else args.results / "perf_report.html"
+        path = save_dashboard(args.results, out, report=report)
+        print(f"dashboard: {path}")
+        if report is not None:
+            print(render_report(report))
+            return 0 if report.ok else 1
+        return 0
     report = check_benches(args.results, names=names)
-    print(render_report(report))
+    if args.json:
+        print(json.dumps(report_json(report), indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
     return 0 if report.ok else 1
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import (folded_text, profile_report, profile_run,
+                                   save_profile)
+
+    try:
+        result = profile_run(args.experiment, seed=args.seed,
+                             phases=args.phases, micro=args.micro)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.folded:
+        sys.stdout.write(folded_text(result))
+    else:
+        print(profile_report(result, top=args.top))
+    if args.svg is not None:
+        from repro.util.svg import render_flamegraph
+
+        args.svg.parent.mkdir(parents=True, exist_ok=True)
+        args.svg.write_text(render_flamegraph(
+            result.folded,
+            title=f"{args.experiment} host-time flamegraph "
+                  f"(seed {args.seed})"))
+        print(f"flamegraph: {args.svg}")
+    if args.out is not None:
+        from repro.engine.manifest import build_manifest, write_manifest
+
+        for path in save_profile(result, args.out, top=max(args.top, 20)):
+            print(f"wrote {path}")
+        manifest = build_manifest(
+            command=["repro", "profile", args.experiment],
+            experiments=[args.experiment],
+            params={"phases": args.phases, "micro": args.micro,
+                    "top": args.top},
+            seed=args.seed,
+            wall_s=result.host_wall_ns / 1e9)
+        print(f"wrote {write_manifest(args.out, manifest)}")
+    return 0
 
 
 def _build_engine(args):
@@ -298,11 +394,35 @@ def _emit_engine(engine, out_dir) -> None:
         (out_dir / "engine.metrics.csv").write_text(engine_csv(engine))
 
 
+def _write_run_manifest(args, engine, experiments, started: float) -> None:
+    """Provenance for one ``run --out`` invocation (see engine.manifest)."""
+    import time
+
+    from repro.engine.manifest import build_manifest, write_manifest
+
+    params = {"quick": not args.full, "jobs": args.jobs,
+              "cache": not args.no_cache}
+    if args.drop_rate is not None:
+        params["drop_rate"] = args.drop_rate
+    if args.metrics_interval is not None:
+        params["metrics_interval_ns"] = args.metrics_interval
+    manifest = build_manifest(
+        command=["repro", "run", args.experiment],
+        experiments=experiments,
+        params=params,
+        engine=engine,
+        wall_s=time.perf_counter() - started)
+    print(f"manifest: {write_manifest(args.out, manifest)}")
+
+
 def _cmd_run(args) -> int:
+    import time
+
     from repro.engine import use_engine
     from repro.experiments import EXPERIMENTS, run_experiment
 
     quick = not args.full
+    started = time.perf_counter()
     engine = _build_engine(args)
     with use_engine(engine):
         if args.experiment == "all":
@@ -312,6 +432,8 @@ def _cmd_run(args) -> int:
                 if args.metrics_interval is not None:
                     _emit_metrics(exp_id, args.metrics_interval, args.out)
             _emit_engine(engine, args.out)
+            if args.out is not None:
+                _write_run_manifest(args, engine, list(EXPERIMENTS), started)
             return 0
         try:
             if args.drop_rate is not None:
@@ -333,6 +455,8 @@ def _cmd_run(args) -> int:
         if args.metrics_interval is not None:
             _emit_metrics(args.experiment, args.metrics_interval, args.out)
         _emit_engine(engine, args.out)
+        if args.out is not None:
+            _write_run_manifest(args, engine, [args.experiment], started)
     return 0
 
 
@@ -363,5 +487,8 @@ def main(argv=None) -> int:
 
     if args.command == "perf":
         return _cmd_perf(args)
+
+    if args.command == "profile":
+        return _cmd_profile(args)
 
     return _cmd_run(args)

@@ -25,7 +25,10 @@ Layers (each in its own module):
 * :mod:`~repro.engine.engine` -- :class:`Engine` orchestrating cache +
   pool and keeping SPC-style counters (hits, misses, utilization);
 * :mod:`~repro.engine.bench` -- the ``BENCH_engine.json`` baseline
-  writer recording the serial-vs-parallel trajectory.
+  writer recording the serial-vs-parallel trajectory;
+* :mod:`~repro.engine.manifest` -- run-provenance ``manifest.json``
+  documents (seed, params, code fingerprint, aggregated counters)
+  written next to every ``--out`` artifact set.
 
 The ambient engine (:func:`current_engine` / :func:`use_engine`)
 defaults to serial, uncached execution -- exactly the pre-engine
@@ -41,6 +44,12 @@ from repro.engine.engine import (
     set_engine,
     use_engine,
 )
+from repro.engine.manifest import (
+    build_manifest,
+    engine_provenance,
+    load_manifest,
+    write_manifest,
+)
 from repro.engine.registry import resolve_trial, trial
 from repro.engine.task import TrialSpec, TrialTask, canonical
 
@@ -50,10 +59,14 @@ __all__ = [
     "TrialCache",
     "TrialSpec",
     "TrialTask",
+    "build_manifest",
     "canonical",
     "current_engine",
+    "engine_provenance",
+    "load_manifest",
     "resolve_trial",
     "set_engine",
     "trial",
     "use_engine",
+    "write_manifest",
 ]

@@ -1,0 +1,107 @@
+"""Run provenance: ``manifest.json`` next to every artifact set.
+
+A results directory without provenance is an archaeology problem: which
+seed, which parameters, which *code* produced these CSVs?  The manifest
+answers all three.  Every ``repro run ... --out`` (and ``repro profile
+--out``) drops a ``manifest.json`` beside its artifacts recording:
+
+* the exact command and experiment ids;
+* the run parameters (quick/full, seed, jobs, drop rate, ...);
+* the **code fingerprint** (:func:`repro.engine.fingerprint.core_fingerprint`)
+  -- the same content hash the trial cache keys on, so a manifest can
+  be matched against cache entries and against the tree that wrote it;
+* the Python version and host wall time;
+* the engine counters, **aggregated across pool workers**: trials,
+  dedup/cache tallies and the per-worker busy nanoseconds folded into
+  a pid-free sorted list.  Because the engine merges worker outcomes
+  in the parent, a ``--jobs N`` manifest's counter totals are equal to
+  the serial run's -- a property the tests gate on.
+
+Documents are written with sorted keys and a trailing newline; the
+``host`` block (wall time, python, busy lists) is informational, while
+the rest is deterministic given the tree and CLI invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+
+#: bump when the manifest layout changes
+MANIFEST_SCHEMA = 1
+
+#: filename written next to artifacts
+MANIFEST_NAME = "manifest.json"
+
+
+def engine_provenance(engine) -> dict:
+    """The engine-counter block of a manifest (worker-aggregated).
+
+    Everything except the ``host`` sub-block is deterministic: the
+    counters describe *what* was computed, not how fast.  Worker pids
+    are discarded -- only the sorted per-worker busy times (host) and
+    the worker count survive aggregation.
+    """
+    c = engine.counters
+    return {
+        "jobs": engine.jobs,
+        "batches": c.batches,
+        "trials": c.trials,
+        "duplicates": c.duplicates,
+        "cache_hits": c.cache_hits,
+        "cache_misses": c.cache_misses,
+        "uncacheable": c.uncacheable,
+        "workers_used": len(c.workers),
+        "host": {
+            "wall_ns": c.wall_ns,
+            "busy_ns": c.busy_ns,
+            "workers_busy_ns": sorted(c.workers.values()),
+        },
+    }
+
+
+def build_manifest(*, command, experiments, params=None, engine=None,
+                   wall_s: float | None = None, seed: int | None = None) -> dict:
+    """Assemble one provenance document (pass to :func:`write_manifest`).
+
+    ``command`` is the argv-style invocation, ``experiments`` the ids
+    that ran, ``params`` a flat dict of run parameters, ``engine`` the
+    :class:`~repro.engine.engine.Engine` the trials went through (or
+    None for engine-less surfaces like ``repro profile``).
+    """
+    from repro.engine.fingerprint import core_fingerprint
+
+    doc = {
+        "schema": MANIFEST_SCHEMA,
+        "command": [str(part) for part in command],
+        "experiments": sorted(experiments),
+        "params": dict(params or {}),
+        "code_fingerprint": core_fingerprint(),
+        "python": platform.python_version(),
+    }
+    if seed is not None:
+        doc["seed"] = seed
+    if engine is not None:
+        doc["engine"] = engine_provenance(engine)
+    if wall_s is not None:
+        doc["wall_s"] = round(wall_s, 3)
+    return doc
+
+
+def write_manifest(out_dir, doc: dict) -> pathlib.Path:
+    """Write ``doc`` as ``<out_dir>/manifest.json`` (stable key order)."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / MANIFEST_NAME
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(out_dir) -> dict | None:
+    """Read a manifest back (None when absent or unparseable)."""
+    path = pathlib.Path(out_dir) / MANIFEST_NAME
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None

@@ -20,13 +20,22 @@ cannot provide: *when* and *on which lock/CRI* contention happens.
 * :mod:`~repro.obs.enginestats` -- the experiment engine's SPC-style
   counters (cache hits/misses, worker utilization) rendered in the same
   CSV/summary conventions.
+* :mod:`~repro.obs.profile` -- the **host-time** profiler
+  (``sys.setprofile`` call accumulator, scheduler counters,
+  virtual-time phase attribution, folded stacks + flamegraphs) behind
+  ``python -m repro profile``.
+* :mod:`~repro.obs.dashboard` -- the static HTML perf observatory over
+  the ``results/BENCH_*.json`` registry behind ``python -m repro perf
+  report``.
 
 Traces are deterministic: byte-identical across runs with the same seed.
 """
 
+from repro.obs.dashboard import build_dashboard, save_dashboard
 from repro.obs.enginestats import engine_csv, engine_row, engine_summary
 from repro.obs.export import save_trace, to_chrome_json, top_report
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ProfileResult, profile_run
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -34,10 +43,14 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "MetricsRegistry",
+    "ProfileResult",
+    "build_dashboard",
     "engine_csv",
     "engine_row",
     "engine_summary",
+    "profile_run",
+    "save_dashboard",
+    "save_trace",
     "to_chrome_json",
     "top_report",
-    "save_trace",
 ]

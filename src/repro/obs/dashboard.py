@@ -1,0 +1,198 @@
+"""The BENCH trajectory dashboard behind ``repro perf report``.
+
+One static, dependency-free HTML page indexing every committed
+``results/BENCH_*.json`` baseline: per-family deterministic-metric
+status (from :mod:`repro.perf.check`), host-section wall-clock
+trajectories rendered as inline SVG sparklines, and regression
+highlighting -- a trajectory whose latest point runs well past its own
+median gets flagged, and any deterministic drift is listed metric by
+metric.  CI builds the page on every run and uploads it as a workflow
+artifact, so the repo's perf story is one click, not twelve JSON files.
+
+The page embeds no scripts and no external assets; sparklines come from
+:func:`repro.util.svg.render_sparkline` and the status data from the
+same :func:`repro.perf.check.report_json` document ``repro perf check
+--json`` prints.
+"""
+
+from __future__ import annotations
+
+import html
+import pathlib
+import platform
+
+#: a trajectory's last point this far past its median is flagged
+REGRESSION_FACTOR = 1.5
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 24px;
+       color: #1a1a2e; background: #fafafa; }
+h1 { font-size: 20px; } h2 { font-size: 15px; margin-top: 28px; }
+table { border-collapse: collapse; background: #fff; }
+th, td { border: 1px solid #ddd; padding: 5px 10px; font-size: 13px;
+         text-align: left; vertical-align: middle; }
+th { background: #f0f0f4; }
+.status { font-weight: 600; padding: 1px 8px; border-radius: 9px;
+          font-size: 12px; display: inline-block; }
+.status.ok { background: #d9f2d9; color: #1e6b1e; }
+.status.drift { background: #fbd9d9; color: #a11212; }
+.status.missing, .status.empty { background: #fdeeca; color: #8a6200; }
+.status.unchecked { background: #e8e8ee; color: #555; }
+.spark { white-space: nowrap; }
+.spark .lbl { color: #666; font-size: 11px; margin-right: 4px; }
+.regressed { background: #fff3f3; }
+.delta { font-family: monospace; font-size: 12px; }
+.muted { color: #777; font-size: 12px; }
+"""
+
+
+def trajectory_series(host: dict) -> dict[str, list[float]]:
+    """Numeric time-series per key from a baseline's host section.
+
+    Reads ``host.trajectory`` (a list of per-recording dicts, appended
+    by the bench suite) and falls back to the flat ``probe_wall_s``
+    when no trajectory exists yet.  Non-numeric fields (python version
+    strings, labels) are skipped.
+    """
+    series: dict[str, list[float]] = {}
+    for entry in host.get("trajectory", []):
+        if not isinstance(entry, dict):
+            continue
+        for key, value in entry.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                series.setdefault(key, []).append(float(value))
+    if not series and isinstance(host.get("probe_wall_s"), (int, float)):
+        series["probe_wall_s"] = [float(host["probe_wall_s"])]
+    return dict(sorted(series.items()))
+
+
+def regressed(values: list[float],
+              factor: float = REGRESSION_FACTOR) -> bool:
+    """Whether a trajectory's newest point sticks out above its history.
+
+    Needs at least four points (less history than that is noise); the
+    last value must exceed ``factor`` times the median of the earlier
+    ones.  Purely advisory -- host time is never gated -- but the
+    dashboard paints the cell so a creeping slowdown is visible.
+    """
+    if len(values) < 4:
+        return False
+    prior = sorted(values[:-1])
+    median = prior[len(prior) // 2]
+    return median > 0 and values[-1] > factor * median
+
+
+def _family_doc(results_dir, name: str) -> dict:
+    from repro.perf import bench_path, load_bench
+
+    return load_bench(bench_path(results_dir, name))
+
+
+def _status_cell(status: str) -> str:
+    return f'<span class="status {status}">{status}</span>'
+
+
+def _spark_cells(series: dict[str, list[float]]) -> str:
+    from repro.util.svg import render_sparkline
+
+    if not series:
+        return '<span class="muted">no host data</span>'
+    parts = []
+    for key, values in series.items():
+        flag = regressed(values)
+        spark = render_sparkline(values, flag_last=flag)
+        last = values[-1]
+        shown = f"{last:.3g}"
+        cls = ' class="regressed"' if flag else ""
+        parts.append(f'<span class="spark"{cls}><span class="lbl">'
+                     f'{html.escape(key)} ({shown}, n={len(values)})</span>'
+                     f'{spark}</span>')
+    return "<br/>".join(parts)
+
+
+def build_dashboard(results_dir, report=None) -> str:
+    """Render the dashboard HTML over ``results_dir``.
+
+    ``report`` is a :class:`repro.perf.check.CheckReport` when the
+    caller already ran the gate (the CLI does); with ``None`` every
+    family renders as ``unchecked`` -- trajectories and metric counts
+    still show, only the drift column is blank.
+    """
+    from repro.perf import PROBES, report_json
+
+    doc = report_json(report) if report is not None else None
+    by_name = ({f["name"]: f for f in doc["families"]} if doc else {})
+
+    rows = []
+    for name in sorted(PROBES):
+        bench = _family_doc(results_dir, name)
+        fam = by_name.get(name)
+        status = fam["status"] if fam else "unchecked"
+        deltas = fam["deltas"] if fam else []
+        series = trajectory_series(bench.get("host", {}))
+        delta_cell = (f"{len(deltas)} drifted" if deltas
+                      else ("&mdash;" if fam else ""))
+        rows.append(
+            f"<tr><td><b>{html.escape(name)}</b></td>"
+            f"<td>{_status_cell(status)}</td>"
+            f"<td>{len(bench.get('deterministic', {}))}</td>"
+            f"<td>{delta_cell}</td>"
+            f"<td>{_spark_cells(series)}</td></tr>")
+
+    drift_rows = []
+    for fam in (doc["families"] if doc else []):
+        for delta in fam["deltas"]:
+            drift_rows.append(
+                f"<tr><td>{html.escape(fam['name'])}</td>"
+                f"<td class='delta'>{html.escape(delta['metric'])}</td>"
+                f"<td class='delta'>{html.escape(repr(delta['old']))}</td>"
+                f"<td class='delta'>{html.escape(repr(delta['new']))}</td>"
+                f"</tr>")
+
+    if doc is None:
+        headline = "gate not run (trajectories only)"
+    else:
+        headline = f"{doc['passed']}/{doc['total']} families pass"
+        if doc["missing"]:
+            headline += (f"; {len(doc['missing'])} baseline(s) missing: "
+                         f"{', '.join(doc['missing'])}")
+        if doc["stray_files"]:
+            headline += (f"; {len(doc['stray_files'])} stray file(s): "
+                         f"{', '.join(doc['stray_files'])}")
+
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        "<title>repro perf observatory</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>repro perf observatory</h1>",
+        f"<p><b>{html.escape(headline)}</b> &middot; "
+        f"python {platform.python_version()} &middot; "
+        "deterministic sections are gated; host trajectories are "
+        "informational.</p>",
+        "<h2>Bench families</h2>",
+        "<table><tr><th>family</th><th>status</th>"
+        "<th>deterministic metrics</th><th>drift</th>"
+        "<th>host trajectories</th></tr>",
+        *rows,
+        "</table>",
+    ]
+    if drift_rows:
+        parts += ["<h2>Drifted metrics</h2>",
+                  "<table><tr><th>family</th><th>metric</th>"
+                  "<th>baseline</th><th>fresh</th></tr>",
+                  *drift_rows, "</table>"]
+    parts += [
+        '<p class="muted">Generated by <code>repro perf report</code>. '
+        "Regenerate baselines with <code>repro perf update</code> or "
+        "<code>pytest benchmarks/ -k baseline</code>.</p>",
+        "</body></html>"]
+    return "\n".join(parts)
+
+
+def save_dashboard(results_dir, out_path, report=None) -> pathlib.Path:
+    """Build and write the dashboard; returns the output path."""
+    out_path = pathlib.Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(build_dashboard(results_dir, report=report))
+    return out_path

@@ -1,0 +1,142 @@
+"""Zero-dependency host-time call profiler (``sys.setprofile``).
+
+The accumulator keeps, per Python function, the number of calls plus
+cumulative and self host-nanoseconds, and per *call stack* (the folded
+key flamegraphs are built from) the call count and self nanoseconds.
+Call counts are a pure function of the seeded simulation -- two runs of
+the same scenario execute the same calls -- so they are gated as
+deterministic; the nanosecond columns are host weather and stay
+informational.
+
+C-function events (``c_call``/``c_return``) are deliberately ignored:
+time spent inside C builtins (``heapq.heappush``, ``dict`` methods)
+attributes to the *calling* Python function's self time, which is both
+what an optimization pass wants to see and stable across CPython
+minor versions that move stdlib code between Python and C.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def code_key(code, repro_marker: str = "/repro/") -> str:
+    """Stable label for one code object: ``module.path:func``.
+
+    Files inside the ``repro`` package keep their dotted module path;
+    anything else (stdlib, site-packages) collapses to ``~basename`` so
+    keys never embed machine-specific absolute paths.  Spaces and
+    semicolons are replaced to keep folded-stack lines parseable.
+    """
+    fname = code.co_filename.replace("\\", "/")
+    idx = fname.rfind(repro_marker)
+    if idx >= 0 and fname.endswith(".py"):
+        mod = fname[idx + 1:-3].replace("/", ".")
+    else:
+        base = fname.rsplit("/", 1)[-1]
+        mod = "~" + (base[:-3] if base.endswith(".py") else base)
+    return f"{mod}:{code.co_name}".replace(" ", "_").replace(";", ",")
+
+
+class HostProfiler:
+    """Call accumulator driven by ``sys.setprofile``.
+
+    Use as a context manager (or :meth:`start`/:meth:`stop`) around the
+    code to attribute.  Results land in :attr:`functions` (``key ->
+    [calls, cum_ns, self_ns]``) and :attr:`folded` (``stack tuple ->
+    [calls, self_ns]``).  Recursive calls accumulate cumulative time
+    once per activation, so a recursive function's ``cum_ns`` can
+    exceed wall time -- standard deterministic-profiler behaviour.
+    """
+
+    def __init__(self, clock=time.perf_counter_ns):
+        self._clock = clock
+        #: key -> [calls, cum_ns, self_ns]
+        self.functions: dict[str, list] = {}
+        #: stack-key tuple -> [calls, self_ns]
+        self.folded: dict[tuple, list] = {}
+        self._stack: list[list] = []     # [key, start_ns, child_ns]
+        self._keys: dict = {}            # code object -> key cache
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Install the profile hook (no-op if already active)."""
+        if self._active:
+            return
+        self._active = True
+        sys.setprofile(self._hook)
+
+    def stop(self) -> None:
+        """Remove the hook and close any still-open frames."""
+        if not self._active:
+            return
+        sys.setprofile(None)
+        self._active = False
+        now = self._clock()
+        while self._stack:
+            self._close(self._stack.pop(), now)
+
+    def __enter__(self):
+        """Context-manager entry: start profiling."""
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        """Context-manager exit: stop profiling (never swallows)."""
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    def _key(self, code) -> str:
+        key = self._keys.get(code)
+        if key is None:
+            key = code_key(code)
+            self._keys[code] = key
+        return key
+
+    def _close(self, entry, now: int) -> None:
+        """Fold one finished activation into the per-function totals."""
+        key, start, child = entry
+        total = now - start
+        rec = self.functions.get(key)
+        if rec is None:
+            self.functions[key] = [1, total, total - child]
+        else:
+            rec[0] += 1
+            rec[1] += total
+            rec[2] += total - child
+        stack_key = tuple(e[0] for e in self._stack) + (key,)
+        frec = self.folded.get(stack_key)
+        if frec is None:
+            self.folded[stack_key] = [1, total - child]
+        else:
+            frec[0] += 1
+            frec[1] += total - child
+        if self._stack:
+            self._stack[-1][2] += total
+
+    def _hook(self, frame, event, arg):
+        if event == "call":
+            self._stack.append([self._key(frame.f_code), self._clock(), 0])
+        elif event == "return":
+            if self._stack:
+                self._close(self._stack.pop(), self._clock())
+        # c_call/c_return/c_exception: intentionally ignored (see module
+        # docstring); their time lands in the caller's self_ns.
+
+    # ------------------------------------------------------------------
+    def function_rows(self) -> list[dict]:
+        """Per-function rows sorted by (calls desc, name) -- deterministic."""
+        rows = [{"name": key, "calls": rec[0], "cum_ns": rec[1],
+                 "self_ns": rec[2]}
+                for key, rec in self.functions.items()]
+        rows.sort(key=lambda r: (-r["calls"], r["name"]))
+        return rows
+
+    def folded_rows(self) -> list[dict]:
+        """Folded-stack rows sorted by stack key -- deterministic."""
+        return [{"stack": ";".join(stack), "calls": rec[0],
+                 "self_ns": rec[1]}
+                for stack, rec in sorted(self.folded.items())]

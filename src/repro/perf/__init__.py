@@ -22,8 +22,8 @@ from repro.perf.baseline import (SCHEMA_VERSION, bench_path, dump_bench,
                                  empty_doc, list_benches, load_bench,
                                  write_bench)
 from repro.perf.check import (BenchCheck, CheckReport, Delta, check_benches,
-                              compare, render_report, update_benches,
-                              values_match)
+                              compare, render_report, report_json,
+                              update_benches, values_match)
 from repro.perf.probes import PROBES, run_probe
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "list_benches",
     "load_bench",
     "render_report",
+    "report_json",
     "run_probe",
     "update_benches",
     "values_match",

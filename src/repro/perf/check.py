@@ -85,6 +85,18 @@ class CheckReport:
         """All metric deltas across families."""
         return [d for c in self.checks for d in c.deltas]
 
+    @property
+    def missing(self) -> list[str]:
+        """Families whose committed baseline file does not exist.
+
+        Distinct from :attr:`unknown_files` (stray ``BENCH_*.json``
+        with no matching probe): a missing baseline means ``perf
+        update`` was never run for a registered probe; a stray file
+        means a baseline outlived its probe.  The summary reports the
+        two separately.
+        """
+        return [c.name for c in self.checks if c.status == "missing"]
+
 
 def values_match(old, new, rel_tol: float = REL_TOL) -> bool:
     """Whether one committed value matches one freshly probed value.
@@ -175,11 +187,48 @@ def render_report(report: CheckReport, verbose: bool = False) -> str:
         for d in c.deltas:
             lines.append(f"     {d.describe()}")
     for stray in report.unknown_files:
-        lines.append(f"FAIL {stray}: baseline file has no matching probe")
+        lines.append(f"FAIL {stray}: stray baseline file "
+                     "(no matching probe; delete it or register a probe)")
     passed = sum(1 for c in report.checks if c.ok)
-    lines.append(f"perf gate: {passed}/{len(report.checks)} families pass"
-                 + ("" if report.ok else " -- FAILED"))
+    summary = f"perf gate: {passed}/{len(report.checks)} families pass"
+    if report.missing:
+        summary += (f", {len(report.missing)} baseline(s) missing "
+                    f"({', '.join(report.missing)})")
+    if report.unknown_files:
+        summary += (f", {len(report.unknown_files)} stray file(s) "
+                    f"({', '.join(report.unknown_files)})")
+    lines.append(summary + ("" if report.ok else " -- FAILED"))
     if verbose and report.ok:
         lines.append("(deterministic sections only; host wall-clock data "
                      "is informational)")
     return "\n".join(lines)
+
+
+def report_json(report: CheckReport) -> dict:
+    """Machine-readable form of a :class:`CheckReport`.
+
+    One format for every consumer -- ``repro perf check --json``, the
+    CI gate and the dashboard -- instead of each scraping the text
+    report.  Missing baselines and stray files are separate fields.
+    """
+    return {
+        "schema": 1,
+        "ok": report.ok,
+        "passed": sum(1 for c in report.checks if c.ok),
+        "total": len(report.checks),
+        "missing": list(report.missing),
+        "stray_files": list(report.unknown_files),
+        "families": [
+            {
+                "name": c.name,
+                "status": c.status,
+                "ok": c.ok,
+                "metrics": c.metrics,
+                "deltas": [
+                    {"metric": d.metric, "old": d.old, "new": d.new}
+                    for d in c.deltas
+                ],
+            }
+            for c in report.checks
+        ],
+    }

@@ -35,6 +35,7 @@ A simulated thread body is a generator.  It interacts with the scheduler by
 
 from repro.simthread.errors import DeadlockError, SimError, SimThreadError
 from repro.simthread.scheduler import SUSPEND, Delay, Scheduler, YieldNow
+from repro.simthread.stats import SchedStats
 from repro.simthread.thread import SimThread
 from repro.simthread.sync import (
     LockCosts,
@@ -53,6 +54,7 @@ __all__ = [
     "Delay",
     "LockCosts",
     "SUSPEND",
+    "SchedStats",
     "Scheduler",
     "SimBarrier",
     "SimCondition",

@@ -97,10 +97,12 @@ class Scheduler:
         self._heap: list = []
         self._tick = itertools.count()
         self._threads: list[SimThread] = []
+        self._locks: list = []
         self._nparked = 0
         self._failure: BaseException | None = None
         self._sampler = None
         self._watchdog = None
+        self._stats = None
 
     @property
     def now(self) -> int:
@@ -123,6 +125,30 @@ class Scheduler:
         """
         self._sampler = sampler
 
+    def set_stats(self, stats) -> None:
+        """Install (or, with ``None``, remove) a :class:`SchedStats`.
+
+        When present (see :mod:`repro.simthread.stats`), the event loop
+        tallies heap traffic, generator steps and per-kind dispatch
+        counts into it.  The counters are deterministic per seed; the
+        disabled cost is one ``is not None`` branch per operation.
+        """
+        self._stats = stats
+
+    @property
+    def stats(self):
+        """The installed :class:`SchedStats`, or None when not profiling."""
+        return self._stats
+
+    @property
+    def locks(self) -> tuple:
+        """Every SimLock created against this scheduler, creation order."""
+        return tuple(self._locks)
+
+    def register_lock(self, lock) -> None:
+        """Record a lock for per-lock observability (called by SimLock)."""
+        self._locks.append(lock)
+
     def set_watchdog(self, watchdog) -> None:
         """Install (or, with ``None``, remove) a no-progress watchdog.
 
@@ -140,6 +166,8 @@ class Scheduler:
         """Register a generator as a new simulated thread, runnable now."""
         if not hasattr(gen, "send"):
             raise SimThreadError(f"spawn() needs a generator, got {type(gen).__name__}")
+        if self._stats is not None:
+            self._stats.spawns += 1
         thread = SimThread(self, gen, name or f"thread-{len(self._threads)}")
         self._threads.append(thread)
         self._push(thread, self.now, None)
@@ -156,6 +184,8 @@ class Scheduler:
     def _push(self, thread: SimThread, when: int, value) -> None:
         thread._resume_value = value
         thread._parked = False
+        if self._stats is not None:
+            self._stats.heap_pushes += 1
         heapq.heappush(self._heap, (when, next(self._tick), thread))
 
     def wake(self, thread: SimThread, value=None, delay: int = 0) -> None:
@@ -169,6 +199,8 @@ class Scheduler:
         if not thread._parked:
             raise SimThreadError(f"thread {thread.name} is not parked")
         self._nparked -= 1
+        if self._stats is not None:
+            self._stats.wakes += 1
         self._push(thread, self.now + delay, value)
 
     def call_at(self, when: int, fn, *args) -> None:
@@ -177,6 +209,8 @@ class Scheduler:
         Used by the network model to deliver messages: the callback runs
         with ``self.now == when`` and must not yield.
         """
+        if self._stats is not None:
+            self._stats.heap_pushes += 1
         heapq.heappush(self._heap, (when, next(self._tick), _Callback(fn, args)))
 
     def jittered(self, ns: int) -> int:
@@ -202,10 +236,15 @@ class Scheduler:
             simulation is aborted at that point).
         """
         heap = self._heap
+        stats = self._stats
         while heap:
             when, _, item = heapq.heappop(heap)
+            if stats is not None:
+                stats.heap_pops += 1
             if max_time is not None and when > max_time:
                 heapq.heappush(heap, (when, next(self._tick), item))
+                if stats is not None:
+                    stats.heap_pushes += 1
                 break
             self._now = when
             self.events_processed += 1
@@ -216,6 +255,8 @@ class Scheduler:
             if max_events is not None and self.events_processed > max_events:
                 raise SimThreadError(f"exceeded max_events={max_events} (runaway simulation?)")
             if isinstance(item, _Callback):
+                if stats is not None:
+                    stats.events_callback += 1
                 item.fn(*item.args)
                 continue
             if item.done:  # stale heap entry for an aborted thread
@@ -233,6 +274,9 @@ class Scheduler:
     def _step(self, thread: SimThread) -> None:
         value = thread._resume_value
         thread._resume_value = None
+        stats = self._stats
+        if stats is not None:
+            stats.gen_steps += 1
         self.current = thread
         try:
             try:
@@ -250,11 +294,17 @@ class Scheduler:
         if cmd is SUSPEND:
             thread._parked = True
             self._nparked += 1
+            if stats is not None:
+                stats.events_suspend += 1
         elif type(cmd) is Delay:
             ns = self.jittered(cmd.ns) if cmd.jitter else cmd.ns
             thread._run_ns += ns
+            if stats is not None:
+                stats.events_delay += 1
             self._push(thread, self.now + ns, None)
         elif type(cmd) is YieldNow:
+            if stats is not None:
+                stats.events_yield += 1
             self._push(thread, self.now, None)
         else:
             exc = SimThreadError(f"thread {thread.name} yielded unknown command {cmd!r}")

@@ -1,0 +1,77 @@
+"""Scheduler-level event counters behind the host-time profiler.
+
+:class:`SchedStats` tallies what the event loop actually does -- events
+dispatched per command kind, heap pushes/pops, generator steps, wakes
+and spawns.  Everything here is a pure function of the seed: the counts
+describe the *simulation's* control flow, not the host's clock, so the
+profiler can gate on them while treating host nanoseconds as weather.
+
+The scheduler carries no stats object by default; installing one via
+:meth:`repro.simthread.scheduler.Scheduler.set_stats` costs the hot
+loop one attribute load and branch per operation (the same pattern the
+tracer uses), so unprofiled runs are unaffected.
+"""
+
+from __future__ import annotations
+
+
+class SchedStats:
+    """Deterministic tallies of one scheduler's event-loop activity."""
+
+    __slots__ = ("events_delay", "events_yield", "events_suspend",
+                 "events_callback", "heap_pushes", "heap_pops",
+                 "gen_steps", "wakes", "spawns")
+
+    def __init__(self):
+        self.events_delay = 0      #: Delay commands dispatched
+        self.events_yield = 0      #: YieldNow commands dispatched
+        self.events_suspend = 0    #: SUSPEND commands dispatched (parks)
+        self.events_callback = 0   #: call_at callbacks executed
+        self.heap_pushes = 0       #: event-heap insertions
+        self.heap_pops = 0         #: event-heap removals
+        self.gen_steps = 0         #: generator send() resumptions
+        self.wakes = 0             #: explicit wake() calls
+        self.spawns = 0            #: threads spawned
+
+    def as_dict(self) -> dict:
+        """Flat ``{counter: value}`` in a fixed, documented order."""
+        return {
+            "events_delay": self.events_delay,
+            "events_yield": self.events_yield,
+            "events_suspend": self.events_suspend,
+            "events_callback": self.events_callback,
+            "heap_pushes": self.heap_pushes,
+            "heap_pops": self.heap_pops,
+            "gen_steps": self.gen_steps,
+            "wakes": self.wakes,
+            "spawns": self.spawns,
+        }
+
+
+def lock_rows(sched) -> list[dict]:
+    """Per-:class:`~repro.simthread.sync.SimLock` counter rows.
+
+    Every lock created against ``sched`` registers itself in creation
+    order (see ``Scheduler.locks``), so the rows -- acquisition counts
+    and virtual-time wait/hold totals -- are deterministic per seed.
+    Tracer-guard branch hits are derived from the same counters: each
+    acquisition checks the guard twice (acquire + release), contended
+    acquisitions add a wait-begin/wait-end pair, and failed trylocks
+    and owner migrations one check each.
+    """
+    rows = []
+    for lock in sched.locks:
+        tracer_branches = (2 * lock.acquisitions
+                           + 2 * lock.contended_acquisitions
+                           + lock.tryfails + lock.migrations)
+        rows.append({
+            "name": lock.name,
+            "acquisitions": lock.acquisitions,
+            "contended": lock.contended_acquisitions,
+            "tryfails": lock.tryfails,
+            "migrations": lock.migrations,
+            "wait_ns": lock.wait_time_ns,
+            "hold_ns": lock.hold_time_ns,
+            "tracer_branches": tracer_branches,
+        })
+    return rows

@@ -99,6 +99,10 @@ class SimLock:
         self.wait_time_ns = 0
         #: cumulative virtual time the lock was held
         self.hold_time_ns = 0
+        # creation-order registry for per-lock observability (profiler)
+        register = getattr(sched, "register_lock", None)
+        if register is not None:
+            register(self)
 
     def reset_stats(self) -> None:
         """Zero the statistics counters (the lock state is untouched)."""

@@ -1,0 +1,66 @@
+"""Run provenance manifests: schema, IO, worker-aggregated counters."""
+
+from repro.engine import (Engine, build_manifest, engine_provenance,
+                          load_manifest, use_engine, write_manifest)
+from repro.engine.fingerprint import core_fingerprint
+from repro.engine.manifest import MANIFEST_SCHEMA
+
+
+def run_small_exhibit():
+    from repro.experiments import run_table2
+
+    return run_table2(quick=True, pairs=4)
+
+
+def test_build_manifest_records_provenance():
+    doc = build_manifest(command=["repro", "run", "fig3a"],
+                         experiments=["fig3a"],
+                         params={"quick": True}, seed=1, wall_s=1.23456)
+    assert doc["schema"] == MANIFEST_SCHEMA
+    assert doc["command"] == ["repro", "run", "fig3a"]
+    assert doc["experiments"] == ["fig3a"]
+    assert doc["code_fingerprint"] == core_fingerprint()
+    assert doc["seed"] == 1
+    assert doc["wall_s"] == 1.235
+    assert "engine" not in doc
+
+
+def test_manifest_round_trip(tmp_path):
+    doc = build_manifest(command=["x"], experiments=["e"])
+    path = write_manifest(tmp_path, doc)
+    assert path.name == "manifest.json"
+    assert path.read_text().endswith("\n")
+    assert load_manifest(tmp_path) == doc
+    assert load_manifest(tmp_path / "absent") is None
+
+
+def test_engine_provenance_discards_worker_pids():
+    engine = Engine(jobs=1)
+    with use_engine(engine):
+        run_small_exhibit()
+    block = engine_provenance(engine)
+    assert block["trials"] > 0
+    assert block["workers_used"] == len(block["host"]["workers_busy_ns"])
+    assert block["host"]["workers_busy_ns"] \
+        == sorted(block["host"]["workers_busy_ns"])
+    assert all(isinstance(v, int) for v in block["host"]["workers_busy_ns"])
+
+
+def test_parallel_counters_merge_to_serial_totals():
+    # the acceptance criterion: a --jobs N manifest's deterministic
+    # counters equal the serial run's (host block excluded)
+    serial, parallel = Engine(jobs=1), Engine(jobs=4)
+    with use_engine(serial):
+        run_small_exhibit()
+    with use_engine(parallel):
+        run_small_exhibit()
+
+    def deterministic(engine):
+        block = engine_provenance(engine)
+        block.pop("host")
+        block.pop("jobs")
+        block.pop("workers_used")   # pool width is a parameter, not behaviour
+        block.pop("batches")        # batching granularity differs by width
+        return block
+
+    assert deterministic(parallel) == deterministic(serial)

@@ -1,0 +1,79 @@
+"""The BENCH trajectory dashboard (repro perf report)."""
+
+from repro.obs.dashboard import (build_dashboard, regressed, save_dashboard,
+                                 trajectory_series)
+from repro.perf import PROBES, write_bench
+from repro.perf.check import BenchCheck, CheckReport, Delta
+
+
+def seed_results(tmp_path, names=None):
+    """Write a minimal baseline for every (or the given) probe family."""
+    for i, name in enumerate(sorted(names or PROBES)):
+        write_bench(tmp_path, name, {"elapsed_ns": 1000 + i},
+                    host={"probe_wall_s": 0.5,
+                          "trajectory": [{"probe_wall_s": 0.4 + 0.1 * k,
+                                          "python": "3.12.0"}
+                                         for k in range(3)]})
+    return tmp_path
+
+
+def test_trajectory_series_extracts_numeric_columns():
+    host = {"trajectory": [{"wall_s": 1.0, "python": "3.12", "ok": True},
+                           {"wall_s": 2.0, "rss_mb": 10}]}
+    series = trajectory_series(host)
+    assert series == {"rss_mb": [10.0], "wall_s": [1.0, 2.0]}
+
+
+def test_trajectory_series_falls_back_to_flat_wall():
+    assert trajectory_series({"probe_wall_s": 1.5}) \
+        == {"probe_wall_s": [1.5]}
+    assert trajectory_series({}) == {}
+    assert trajectory_series({"trajectory": ["bogus", 3]}) == {}
+
+
+def test_regressed_needs_history_and_a_spike():
+    assert not regressed([1.0, 1.0, 9.0])            # too little history
+    assert not regressed([1.0, 1.0, 1.0, 1.1])       # flat
+    assert regressed([1.0, 1.0, 1.0, 1.0, 2.0])      # 2x the median
+    assert not regressed([0.0, 0.0, 0.0, 5.0])       # zero median: no signal
+
+
+def test_dashboard_indexes_every_probe_family(tmp_path):
+    seed_results(tmp_path)
+    html = build_dashboard(tmp_path)
+    for name in PROBES:
+        assert f"<b>{name}</b>" in html
+    assert "gate not run" in html
+    assert html.count("<svg") >= len(PROBES)         # sparkline per family
+
+
+def test_dashboard_renders_check_status(tmp_path):
+    seed_results(tmp_path)
+    names = sorted(PROBES)
+    checks = [BenchCheck(name=n, status="ok", metrics=3) for n in names[1:]]
+    checks.insert(0, BenchCheck(
+        name=names[0], status="drift", metrics=3,
+        deltas=[Delta(names[0], "elapsed_ns", 1000, 1300)]))
+    html = build_dashboard(tmp_path, report=CheckReport(checks=checks))
+    assert f"{len(names) - 1}/{len(names)} families pass" in html
+    assert "1 drifted" in html
+    assert "Drifted metrics" in html and "1300" in html
+
+
+def test_dashboard_reports_missing_and_stray(tmp_path):
+    seed_results(tmp_path)
+    report = CheckReport(
+        checks=[BenchCheck(name="fig6", status="ok", metrics=2),
+                BenchCheck(name="fig7", status="missing")],
+        unknown_files=["BENCH_zombie.json"])
+    html = build_dashboard(tmp_path, report=report)
+    assert "1 baseline(s) missing: fig7" in html
+    assert "1 stray file(s): BENCH_zombie.json" in html
+
+
+def test_save_dashboard_writes_file(tmp_path):
+    seed_results(tmp_path)
+    out = save_dashboard(tmp_path, tmp_path / "sub" / "dash.html")
+    text = out.read_text()
+    assert text.startswith("<!DOCTYPE html>")
+    assert "perf observatory" in text

@@ -99,6 +99,45 @@ def test_update_preserves_host_trajectory(tmp_path, fake_probe):
     assert doc["deterministic"]["elapsed_ns"] == 1000
 
 
+def test_summary_separates_missing_from_stray(tmp_path, fake_probe,
+                                              monkeypatch):
+    # registry = {fake, ghost}; only "fake" gets stray company on disk
+    monkeypatch.setitem(PROBES, "ghost", lambda: {"x": 1})
+    monkeypatch.setattr(check_mod, "PROBES",
+                        {"fake": PROBES["fake"], "ghost": PROBES["ghost"]})
+    update_benches(tmp_path, names=["fake"])          # ghost stays missing
+    write_bench(tmp_path, "zombie", {"x": 1})         # stray: no probe
+    report = check_benches(tmp_path)
+    assert report.missing == ["ghost"]
+    assert report.unknown_files == ["BENCH_zombie.json"]
+    summary = render_report(report).splitlines()[-1]
+    assert "1 baseline(s) missing (ghost)" in summary
+    assert "1 stray file(s) (BENCH_zombie.json)" in summary
+    assert "FAILED" in summary
+
+
+def test_report_json_schema(tmp_path, fake_probe):
+    update_benches(tmp_path, names=["fake"])
+    fake_probe["metrics"]["rate"] = 9.0
+    report = check_benches(tmp_path)
+    doc = check_mod.report_json(report)
+    assert doc["schema"] == 1
+    assert doc["ok"] is False
+    assert (doc["passed"], doc["total"]) == (0, 1)
+    assert doc["missing"] == [] and doc["stray_files"] == []
+    (fam,) = doc["families"]
+    assert fam["name"] == "fake" and fam["status"] == "drift"
+    assert fam["deltas"] == [{"metric": "rate", "old": 2.5, "new": 9.0}]
+    json.dumps(doc)                    # must be JSON-serializable as-is
+
+
+def test_report_json_on_clean_gate(tmp_path, fake_probe):
+    update_benches(tmp_path, names=["fake"])
+    doc = check_mod.report_json(check_benches(tmp_path))
+    assert doc["ok"] is True and doc["passed"] == doc["total"] == 1
+    assert doc["families"][0]["deltas"] == []
+
+
 def test_trajectory_replaces_same_label(tmp_path):
     from repro.engine.bench import record_trajectory
 

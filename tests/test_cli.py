@@ -249,6 +249,114 @@ def test_perf_unknown_family_rejected(capsys):
     assert "unknown bench families" in capsys.readouterr().err
 
 
+def test_perf_check_json_output(tmp_path, capsys):
+    import json
+    results = tmp_path / "results"
+    assert main(["perf", "update", "--results", str(results),
+                 "--only", "fig6"]) == 0
+    capsys.readouterr()
+    assert main(["perf", "check", "--results", str(results),
+                 "--only", "fig6", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True and doc["schema"] == 1
+    assert doc["families"][0]["name"] == "fig6"
+
+
+def test_perf_report_writes_dashboard(tmp_path, capsys):
+    results = tmp_path / "results"
+    assert main(["perf", "update", "--results", str(results),
+                 "--only", "fig6"]) == 0
+    out = tmp_path / "dash.html"
+    assert main(["perf", "report", "--results", str(results),
+                 "--only", "fig6", "--out", str(out)]) == 0
+    html = out.read_text()
+    assert "perf observatory" in html and "fig6" in html
+    assert "dashboard:" in capsys.readouterr().out
+
+
+def test_perf_report_no_check_skips_the_gate(tmp_path, capsys):
+    results = tmp_path / "results"          # empty: gate would fail
+    out = tmp_path / "dash.html"
+    assert main(["perf", "report", "--results", str(results),
+                 "--no-check", "--out", str(out)]) == 0
+    assert "gate not run" in out.read_text()
+
+
+def test_profile_prints_deterministic_counters(capsys):
+    assert main(["profile", "fig3a", "--micro"]) == 0
+    out = capsys.readouterr().out
+    assert "host profile: fig3a" in out
+    assert "[scheduler counters - deterministic]" in out
+    assert "tracer_branches" in out and "[locks" in out
+
+
+def test_profile_folded_output(capsys):
+    assert main(["profile", "fig3a", "--micro", "--folded"]) == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if l]
+    # Brendan Gregg collapsed format: "frame;frame;... calls self_ns"
+    assert all(len(l.rsplit(" ", 2)) == 3 for l in lines)
+    assert any("repro.simthread.scheduler" in l for l in lines)
+
+
+def test_profile_out_writes_artifacts_and_manifest(tmp_path, capsys):
+    import json
+    assert main(["profile", "fig3a", "--micro",
+                 "--out", str(tmp_path)]) == 0
+    for name in ("fig3a.profile.txt", "fig3a.counters.txt",
+                 "fig3a.folded.txt", "fig3a.flame.svg"):
+        assert (tmp_path / name).exists()
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["command"] == ["repro", "profile", "fig3a"]
+    assert manifest["params"]["micro"] is True
+    assert manifest["seed"] == 1 and "code_fingerprint" in manifest
+
+
+def test_profile_svg_flag(tmp_path):
+    svg = tmp_path / "flame.svg"
+    assert main(["profile", "fig3a", "--micro", "--svg", str(svg)]) == 0
+    assert svg.read_text().startswith("<svg")
+
+
+def test_profile_unknown_experiment(capsys):
+    assert main(["profile", "fig99"]) == 2
+    assert "no traced scenario" in capsys.readouterr().err
+
+
+def test_profile_rejects_bad_phases(capsys):
+    assert main(["profile", "fig3a", "--micro", "--phases", "0"]) == 2
+    assert "phases" in capsys.readouterr().err
+
+
+def test_run_out_writes_manifest(tmp_path, monkeypatch):
+    import json
+    import repro.experiments.figure3 as f3
+    monkeypatch.setattr(f3, "QUICK_PAIRS", (1,))
+    assert main(["run", "fig3a", "--out", str(tmp_path)]) == 0
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["experiments"] == ["fig3a"]
+    assert manifest["params"]["quick"] is True
+    assert manifest["engine"]["trials"] > 0
+    assert manifest["engine"]["jobs"] == 1
+
+
+def test_run_manifest_counters_merge_across_jobs(tmp_path, monkeypatch):
+    import json
+    import repro.experiments.figure3 as f3
+    monkeypatch.setattr(f3, "QUICK_PAIRS", (1,))
+
+    def counters(jobs):
+        out = tmp_path / f"jobs{jobs}"
+        assert main(["run", "fig3a", "--no-cache", "--jobs", str(jobs),
+                     "--out", str(out)]) == 0
+        engine = json.loads((out / "manifest.json").read_text())["engine"]
+        return {k: engine[k] for k in
+                ("trials", "duplicates", "cache_hits", "cache_misses",
+                 "uncacheable")}
+
+    assert counters(4) == counters(1)
+
+
 def test_committed_baselines_pass_the_gate(capsys):
     # the acceptance criterion: a fresh checkout's committed baselines
     # match recomputation (fast families only; CI runs the full gate)

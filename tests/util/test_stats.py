@@ -90,3 +90,42 @@ class TestHistogram:
         assert a.counts() == {1: 2, 4: 3}
         with pytest.raises(ValueError):
             a.merge(Histogram(bin_width=2))
+
+    def test_single_sample_quantiles(self):
+        h = Histogram()
+        h.add(42)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 42
+        assert h.mean() == 42.0
+
+    def test_duplicate_heavy_quantiles(self):
+        # one dominant value plus rare outliers: every mid quantile
+        # lands on the mode, only the extreme tail sees the outlier
+        h = Histogram()
+        h.add(7, count=998)
+        h.add(0)
+        h.add(1000)
+        assert h.quantile(0.001) == 0
+        assert h.quantile(0.5) == 7
+        assert h.quantile(0.99) == 7
+        assert h.quantile(1.0) == 1000
+
+    def test_merge_with_empty_either_side(self):
+        empty, full = Histogram(), Histogram()
+        full.add(3, count=2)
+        full.merge(empty)                       # no-op
+        assert full.counts() == {3: 2} and full.total == 2
+        empty.merge(full)                       # fold into fresh histogram
+        assert empty.counts() == {3: 2} and empty.total == 2
+        both = Histogram()
+        both.merge(Histogram())                 # empty + empty stays empty
+        assert both.total == 0 and both.counts() == {}
+
+    def test_merge_respects_bin_width(self):
+        a, b = Histogram(bin_width=10), Histogram(bin_width=10)
+        a.add(5)
+        b.add(9)
+        b.add(19)
+        a.merge(b)
+        assert a.counts() == {0: 2, 10: 1}
+        assert a.quantile(0.5) == 0
