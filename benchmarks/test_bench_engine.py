@@ -66,5 +66,35 @@ def test_bench_engine_trajectory(tmp_path):
         "warm_cache_s": round(warm_s, 3),
         "parallel_utilization": round(parallel.utilization(), 3),
     })
-    assert any(e["label"] == "ext-modes quick"
+    assert any(e.get("label") == "ext-modes quick"
+               for e in doc["host"]["trajectory"])
+
+
+def test_bench_engine_supervised_chaos_trajectory():
+    """Flaky-worker run: byte-identical despite deaths, overhead recorded."""
+    from repro.engine import RetryPolicy
+    from repro.faults import WorkerFaultPlan
+
+    serial_csv, serial_s = _timed(Engine(jobs=1))
+
+    plan = WorkerFaultPlan(seed=11, kill_rate=0.25)
+    flaky = Engine(jobs=JOBS, faults=plan,
+                   policy=RetryPolicy(max_retries=2, backoff_s=0.01))
+    flaky_csv, flaky_s = _timed(flaky)
+
+    assert flaky_csv == serial_csv                # chaos never changes values
+    assert flaky.counters.worker_deaths > 0       # the chaos actually landed
+    assert flaky.counters.retries >= flaky.counters.worker_deaths
+
+    doc = record_trajectory(RESULTS_DIR, "engine", {
+        "label": "ext-modes quick, flaky workers",
+        "exhibit": "ext-modes",
+        "jobs": JOBS,
+        "kill_rate": plan.kill_rate,
+        "worker_deaths": flaky.counters.worker_deaths,
+        "retries": flaky.counters.retries,
+        "serial_cold_s": round(serial_s, 3),
+        "flaky_cold_s": round(flaky_s, 3),
+    })
+    assert any(e.get("label") == "ext-modes quick, flaky workers"
                for e in doc["host"]["trajectory"])

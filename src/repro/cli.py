@@ -10,6 +10,9 @@ Examples::
     python -m repro run fig3b --metrics-interval 100000 --out results/
     python -m repro run chaos --drop-rate 0.02
     python -m repro run fig5 --jobs 4 --no-cache
+    python -m repro run fig3a --jobs 4 --resume
+    python -m repro run fig6 --shard 1/4 --out results/
+    python -m repro run fig3a --jobs 4 --flaky-workers 0.2 --trial-timeout 30
     python -m repro trace fig3a --out trace.json
     python -m repro trace chaos --out chaos.json
     python -m repro analyze fig3a
@@ -19,11 +22,24 @@ Examples::
 
 ``run`` executes its seeded trials through the experiment engine
 (:mod:`repro.engine`): ``--jobs N`` fans independent trials out over N
-worker processes and the content-addressed trial cache (under
-``<out-or-results>/.cache``) skips every trial whose configuration,
-seed and code fingerprint were computed before.  Both are safe by
-construction -- trials are pure, so parallel and warm-cache runs emit
-byte-identical artifacts -- and ``--no-cache`` forces recomputation.
+supervised worker processes and the content-addressed trial cache
+(under ``<out-or-results>/.cache``) skips every trial whose
+configuration, seed and code fingerprint were computed before.  Both
+are safe by construction -- trials are pure, so parallel and
+warm-cache runs emit byte-identical artifacts -- and ``--no-cache``
+forces recomputation.
+
+The run is **crash-safe**: every planned trial and outcome is appended
+to a durable sweep journal under ``<cache-root>/journal/``, so after a
+crash (or Ctrl-C, or ``kill -9``) ``--resume`` replays completed
+trials and executes only the missing ones, with byte-identical merged
+artifacts.  ``--shard k/N`` computes only every N-th trial (for CI
+fan-out; artifacts are suppressed, a later ``--resume`` run merges the
+union).  Worker failures are supervised: ``--trial-timeout`` bounds
+each trial's wall clock, dead or wedged workers are respawned and
+their trials retried with exponential backoff up to ``--retries``
+times, and ``--flaky-workers R`` chaos-tests exactly that machinery by
+killing/hanging a seeded fraction of first attempts.
 
 ``trace`` records one representative simulation of the experiment with
 the virtual-time tracer attached and writes Chrome trace-event JSON --
@@ -77,6 +93,35 @@ def _jobs(text: str) -> int:
     return value
 
 
+def _shard(text: str) -> tuple[int, int]:
+    try:
+        k_text, n_text = text.split("/", 1)
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like k/N (e.g. 2/4), got {text!r}") from None
+    if n < 1 or not 1 <= k <= n:
+        raise argparse.ArgumentTypeError(
+            f"shard k/N needs 1 <= k <= N, got {text!r}")
+    return k, n
+
+
+def _retries(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"retries must be >= 0, got {value}")
+    return value
+
+
+def _timeout(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"trial timeout must be positive seconds, got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -105,7 +150,36 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(byte-identical to serial; default 1)")
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the content-addressed trial cache and "
-                          "recompute every trial")
+                          "recompute every trial (also disables the sweep "
+                          "journal, so --resume/--shard need caching on)")
+    run.add_argument("--resume", action="store_true",
+                     help="resume an interrupted run: replay trials the "
+                          "sweep journal recorded as completed, execute "
+                          "only the missing ones")
+    run.add_argument("--shard", type=_shard, default=None, metavar="K/N",
+                     help="compute only every N-th planned trial (shard K "
+                          "of N); artifacts are suppressed -- run with "
+                          "--resume afterwards to merge the shards' union")
+    run.add_argument("--no-journal", action="store_true",
+                     help="skip the durable sweep journal (disables "
+                          "--resume for this run)")
+    run.add_argument("--retries", type=_retries, default=2, metavar="N",
+                     help="max supervised re-executions per trial after a "
+                          "worker death, timeout, or trial error "
+                          "(default 2; exponential backoff between tries)")
+    run.add_argument("--trial-timeout", type=_timeout, default=None,
+                     metavar="S",
+                     help="per-trial wall-clock limit in seconds; an "
+                          "overdue worker is killed and its trial retried "
+                          "(default: unlimited)")
+    run.add_argument("--flaky-workers", type=_drop_rate, default=None,
+                     metavar="R",
+                     help="chaos-test the engine: seeded fraction R of "
+                          "first attempts lose their worker (half killed, "
+                          "half hung past the timeout); requires "
+                          "--jobs >= 2, output stays byte-identical")
+    run.add_argument("--flaky-seed", type=int, default=1, metavar="S",
+                     help="seed for --flaky-workers decisions (default 1)")
 
     trace = sub.add_parser(
         "trace", help="trace one representative run (Perfetto/Chrome JSON)")
@@ -363,23 +437,47 @@ def _cmd_profile(args) -> int:
     return 0
 
 
-def _build_engine(args):
+def _build_engine(args, experiments):
     """The engine a ``run`` invocation executes its trials through.
 
     The cache root is ``$REPRO_TRIAL_CACHE`` when set, else ``.cache``
-    under ``--out`` (or ``results/``).
+    under ``--out`` (or ``results/``).  Unless ``--no-cache`` or
+    ``--no-journal`` disables it, a durable sweep journal under
+    ``<cache-root>/journal/`` makes the run crash-safe: ``--resume``
+    (and every ``--shard`` run, which is partial by design) reopens it
+    and replays completed trials.
     """
-    from repro.engine import Engine, TrialCache
+    from repro.engine import Engine, RetryPolicy, SweepJournal, TrialCache
 
-    cache = None
+    cache = journal = faults = None
     if not args.no_cache:
         root = os.environ.get("REPRO_TRIAL_CACHE")
         if root:
-            cache = TrialCache(pathlib.Path(root))
+            cache_root = pathlib.Path(root)
         else:
             base = args.out if args.out is not None else pathlib.Path("results")
-            cache = TrialCache(base / ".cache")
-    return Engine(jobs=args.jobs, cache=cache)
+            cache_root = base / ".cache"
+        cache = TrialCache(cache_root)
+        if not args.no_journal:
+            params = {"quick": not args.full}
+            if args.drop_rate is not None:
+                params["drop_rate"] = args.drop_rate
+            journal = SweepJournal.open(
+                cache_root / "journal", experiments, params=params,
+                resume=args.resume or args.shard is not None)
+    timeout = args.trial_timeout
+    if args.flaky_workers is not None:
+        from repro.faults.workers import WorkerFaultPlan
+
+        if timeout is None:
+            timeout = 30.0  # injected hangs must surface as timeouts
+        faults = WorkerFaultPlan(seed=args.flaky_seed,
+                                 kill_rate=args.flaky_workers / 2,
+                                 hang_rate=args.flaky_workers / 2,
+                                 hang_s=timeout * 3)
+    policy = RetryPolicy(max_retries=args.retries, timeout_s=timeout)
+    return Engine(jobs=args.jobs, cache=cache, journal=journal,
+                  policy=policy, faults=faults, shard=args.shard)
 
 
 def _emit_engine(engine, out_dir) -> None:
@@ -401,7 +499,16 @@ def _write_run_manifest(args, engine, experiments, started: float) -> None:
     from repro.engine.manifest import build_manifest, write_manifest
 
     params = {"quick": not args.full, "jobs": args.jobs,
-              "cache": not args.no_cache}
+              "cache": not args.no_cache,
+              "journal": not (args.no_cache or args.no_journal),
+              "resume": args.resume, "retries": args.retries}
+    if args.shard is not None:
+        params["shard"] = list(args.shard)
+    if args.trial_timeout is not None:
+        params["trial_timeout_s"] = args.trial_timeout
+    if args.flaky_workers is not None:
+        params["flaky_workers"] = args.flaky_workers
+        params["flaky_seed"] = args.flaky_seed
     if args.drop_rate is not None:
         params["drop_rate"] = args.drop_rate
     if args.metrics_interval is not None:
@@ -418,25 +525,40 @@ def _write_run_manifest(args, engine, experiments, started: float) -> None:
 def _cmd_run(args) -> int:
     import time
 
-    from repro.engine import use_engine
+    from repro.engine import TrialRetryError, use_engine
     from repro.experiments import EXPERIMENTS, run_experiment
+
+    if args.resume and (args.no_cache or args.no_journal):
+        print("--resume replays the sweep journal: drop --no-cache / "
+              "--no-journal", file=sys.stderr)
+        return 2
+    if args.shard is not None and args.no_cache:
+        print("--shard needs the trial cache so a --resume run can merge "
+              "the shards: drop --no-cache", file=sys.stderr)
+        return 2
+    if args.flaky_workers is not None and args.jobs < 2:
+        print("--flaky-workers injects faults into the supervised worker "
+              "pool: use --jobs >= 2", file=sys.stderr)
+        return 2
 
     quick = not args.full
     started = time.perf_counter()
-    engine = _build_engine(args)
+    sharded = args.shard is not None
+    experiments = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    engine = _build_engine(args, experiments)
     with use_engine(engine):
-        if args.experiment == "all":
-            for exp_id in EXPERIMENTS:
-                print(f"--- running {exp_id} ---")
-                _emit(run_experiment(exp_id, quick=quick), args.out)
-                if args.metrics_interval is not None:
-                    _emit_metrics(exp_id, args.metrics_interval, args.out)
-            _emit_engine(engine, args.out)
-            if args.out is not None:
-                _write_run_manifest(args, engine, list(EXPERIMENTS), started)
-            return 0
         try:
-            if args.drop_rate is not None:
+            if args.experiment == "all":
+                for exp_id in EXPERIMENTS:
+                    print(f"--- running {exp_id} ---")
+                    result = run_experiment(exp_id, quick=quick)
+                    if not sharded:
+                        _emit(result, args.out)
+                        if args.metrics_interval is not None:
+                            _emit_metrics(exp_id, args.metrics_interval,
+                                          args.out)
+            elif args.drop_rate is not None:
                 if args.experiment != "chaos":
                     print("--drop-rate only applies to the 'chaos' experiment",
                           file=sys.stderr)
@@ -451,12 +573,23 @@ def _cmd_run(args) -> int:
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
-        _emit(result, args.out)
-        if args.metrics_interval is not None:
-            _emit_metrics(args.experiment, args.metrics_interval, args.out)
+        except TrialRetryError as exc:
+            print(f"run failed: {exc}", file=sys.stderr)
+            print("completed trials are journaled; fix the fault and rerun "
+                  "with --resume", file=sys.stderr)
+            return 3
+        if args.experiment != "all" and not sharded:
+            _emit(result, args.out)
+            if args.metrics_interval is not None:
+                _emit_metrics(args.experiment, args.metrics_interval,
+                              args.out)
+        if sharded:
+            k, n = args.shard
+            print(f"shard {k}/{n}: artifacts suppressed (journal + cache "
+                  f"updated; merge with a --resume run)")
         _emit_engine(engine, args.out)
         if args.out is not None:
-            _write_run_manifest(args, engine, [args.experiment], started)
+            _write_run_manifest(args, engine, experiments, started)
     return 0
 
 

@@ -20,10 +20,21 @@ Layers (each in its own module):
   simulator's code into cache keys, so editing the model invalidates
   stale trials while documentation edits do not;
 * :mod:`~repro.engine.cache` -- :class:`TrialCache`, one JSON file per
-  trial under ``results/.cache/``;
+  trial under ``results/.cache/``, multi-process safe (file-locked
+  writes, corrupt entries quarantined to ``*.bad``);
+* :mod:`~repro.engine.locks` -- the advisory :class:`FileLock` behind
+  every shared-state write;
+* :mod:`~repro.engine.journal` -- :class:`SweepJournal`, the durable
+  append-only plan/outcome log that makes ``--resume`` and
+  ``--shard k/N`` possible;
 * :mod:`~repro.engine.pool` -- the worker-pool executor;
-* :mod:`~repro.engine.engine` -- :class:`Engine` orchestrating cache +
-  pool and keeping SPC-style counters (hits, misses, utilization);
+* :mod:`~repro.engine.supervise` -- the supervised pool: per-trial
+  timeouts, dead-worker detection, bounded retry with backoff
+  (:class:`RetryPolicy`), chaos-testable via
+  :class:`repro.faults.workers.WorkerFaultPlan`;
+* :mod:`~repro.engine.engine` -- :class:`Engine` orchestrating journal
+  + cache + pool and keeping SPC-style counters (hits, misses,
+  resumes, retries, utilization);
 * :mod:`~repro.engine.bench` -- the ``BENCH_engine.json`` baseline
   writer recording the serial-vs-parallel trajectory;
 * :mod:`~repro.engine.manifest` -- run-provenance ``manifest.json``
@@ -40,10 +51,13 @@ from repro.engine.cache import TrialCache
 from repro.engine.engine import (
     Engine,
     EngineCounters,
+    ShardValue,
     current_engine,
     set_engine,
     use_engine,
 )
+from repro.engine.journal import SweepJournal, journal_id
+from repro.engine.locks import FileLock, LockTimeout
 from repro.engine.manifest import (
     build_manifest,
     engine_provenance,
@@ -51,20 +65,35 @@ from repro.engine.manifest import (
     write_manifest,
 )
 from repro.engine.registry import resolve_trial, trial
+from repro.engine.supervise import (
+    PoolStats,
+    RetryPolicy,
+    TrialRetryError,
+    run_supervised,
+)
 from repro.engine.task import TrialSpec, TrialTask, canonical
 
 __all__ = [
     "Engine",
     "EngineCounters",
+    "FileLock",
+    "LockTimeout",
+    "PoolStats",
+    "RetryPolicy",
+    "ShardValue",
+    "SweepJournal",
     "TrialCache",
+    "TrialRetryError",
     "TrialSpec",
     "TrialTask",
     "build_manifest",
     "canonical",
     "current_engine",
     "engine_provenance",
+    "journal_id",
     "load_manifest",
     "resolve_trial",
+    "run_supervised",
     "set_engine",
     "trial",
     "use_engine",

@@ -8,11 +8,17 @@ comes from :mod:`~repro.engine.fingerprint`.  Values land under
 small); each file carries the key components alongside the value so a
 cache entry is self-describing and individually inspectable.
 
-Corrupt or unreadable entries are treated as misses -- the trial is
-simply recomputed and the entry rewritten -- so a killed run can never
-poison later ones.  Writes go through a same-directory temp file +
-``os.replace`` so concurrent processes racing on one entry both leave a
-complete file behind.
+The cache is **multi-process safe**: writes go through a same-directory
+temp file + ``os.replace`` under a root-level
+:class:`~repro.engine.locks.FileLock`, so concurrent ``repro run``
+invocations and CI shards can point ``$REPRO_TRIAL_CACHE`` at one
+directory without torn entries.  Corrupt or truncated entries (a
+crashed writer on a filesystem without atomic replace, a bad disk) are
+**quarantined** -- renamed to ``<key>.json.bad`` and counted in
+``corrupt`` -- rather than treated as permanent misses, so one bad file
+is recomputed exactly once instead of silently re-simulated forever,
+and the evidence survives for inspection.  Entries from an older
+on-disk format are plain misses: recomputed and overwritten in place.
 """
 
 from __future__ import annotations
@@ -23,10 +29,14 @@ import os
 import pathlib
 
 from repro.engine.fingerprint import trial_fingerprint
+from repro.engine.locks import FileLock
 from repro.engine.task import TrialTask
 
 #: bump when the on-disk payload layout changes
 _FORMAT = 1
+
+#: suffix appended to quarantined (corrupt) entries
+BAD_SUFFIX = ".bad"
 
 
 class TrialCache:
@@ -37,6 +47,11 @@ class TrialCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0  #: entries quarantined to ``*.json.bad``
+
+    def _lock(self) -> FileLock:
+        """The root-level write lock shared by every process."""
+        return FileLock(self.root / ".lock")
 
     # ------------------------------------------------------------------
     def key_for(self, task: TrialTask) -> str | None:
@@ -56,16 +71,35 @@ class TrialCache:
         key = self.key_for(task)
         if key is None:
             return False, None
+        path = self._path(key)
         try:
-            payload = json.loads(self._path(key).read_text())
-            if payload.get("format") != _FORMAT:
-                raise ValueError("stale cache format")
-            value = payload["value"]
-        except (OSError, ValueError, KeyError):
+            payload = json.loads(path.read_text())
+        except OSError:
             self.misses += 1
             return False, None
+        except ValueError:
+            # unparseable bytes: quarantine, recompute once
+            self._quarantine(path)
+            self.misses += 1
+            return False, None
+        if not isinstance(payload, dict) or "value" not in payload:
+            self._quarantine(path)
+            self.misses += 1
+            return False, None
+        if payload.get("format") != _FORMAT:
+            self.misses += 1  # older layout: plain miss, overwritten by put
+            return False, None
         self.hits += 1
-        return True, value
+        return True, payload["value"]
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry aside as ``*.bad`` (keeps the evidence)."""
+        try:
+            with self._lock():
+                os.replace(path, path.with_name(path.name + BAD_SUFFIX))
+            self.corrupt += 1
+        except OSError:
+            pass  # a concurrent process already quarantined or rewrote it
 
     def put(self, task: TrialTask, value) -> None:
         """Persist ``value`` for ``task`` (no-op for uncacheable tasks)."""
@@ -83,8 +117,9 @@ class TrialCache:
             "value": value,
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, path)
+        with self._lock():
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
         self.stores += 1
 
     # ------------------------------------------------------------------
@@ -94,14 +129,28 @@ class TrialCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def quarantined_count(self) -> int:
+        """Number of quarantined (``*.json.bad``) entries on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob(f"*/*.json{BAD_SUFFIX}"))
+
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry (quarantined ones included).
+
+        Returns how many live entries were removed.
+        """
         removed = 0
         if self.root.exists():
             for path in self.root.glob("*/*.json"):
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.root.glob(f"*/*.json{BAD_SUFFIX}"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed

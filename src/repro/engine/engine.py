@@ -1,21 +1,30 @@
-"""The Engine: cache-aware, optionally parallel trial execution.
+"""The Engine: cache-aware, optionally parallel, crash-safe trial execution.
 
 ``Engine.run_tasks`` is the single funnel every exhibit's trials pass
 through.  For each batch it:
 
 1. deduplicates identical tasks (same spec/x/seed never computes twice);
-2. resolves what it can from the :class:`~repro.engine.cache.TrialCache`;
-3. fans the remaining misses out over the worker pool (or runs them
-   inline when ``jobs == 1``);
-4. writes freshly computed values back to the cache;
-5. reassembles results in submission order.
+2. records every planned trial in the :class:`~repro.engine.journal.
+   SweepJournal` (when one is attached) and resolves what it can from
+   the journal's completed records -- the ``--resume`` path;
+3. resolves the rest from the :class:`~repro.engine.cache.TrialCache`;
+4. fans the remaining misses out over the supervised worker pool (or
+   runs them inline when ``jobs == 1``), skipping trials owned by other
+   shards when ``shard=(k, n)`` partitions the sweep;
+5. persists each freshly computed value to the cache *and* journal the
+   moment it arrives (streamed, so a crash loses at most in-flight
+   trials);
+6. reassembles results in submission order.
 
-Because trials are pure, steps 2-4 cannot change any value -- only where
+Because trials are pure, steps 2-5 cannot change any value -- only where
 it came from -- which is what the byte-identical-artifacts guarantee
-rests on.  The engine keeps SPC-style counters
+rests on, and why supervision retries and resumed runs reproduce a
+clean serial run exactly.  The engine keeps SPC-style counters
 (:class:`EngineCounters`) mirroring the simulator's own software
-performance counters: totals, hits/misses, per-worker busy time and the
-derived utilization, surfaced through ``repro.obs.enginestats``.
+performance counters: totals, hits/misses, journal/resume and
+retry/timeout/respawn tallies, per-worker busy time and the derived
+utilization, surfaced through ``repro.obs.enginestats`` and
+``manifest.json``.
 
 The *ambient* engine (:func:`current_engine`) is what the experiment
 runners use when no engine is passed explicitly; it defaults to serial
@@ -30,7 +39,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.engine.cache import TrialCache
-from repro.engine.pool import run_parallel, run_serial
+from repro.engine.pool import run_serial
+from repro.engine.supervise import RetryPolicy, run_supervised
 from repro.engine.task import TrialTask
 
 
@@ -43,6 +53,13 @@ class EngineCounters:
     cache_hits: int = 0        #: trials answered from the cache
     cache_misses: int = 0      #: trials that had to compute
     uncacheable: int = 0       #: computed trials whose params defeat caching
+    resumed: int = 0           #: trials answered from the sweep journal
+    shard_skipped: int = 0     #: trials owned by other shards (not computed)
+    retries: int = 0           #: trial executions re-queued by supervision
+    timeouts: int = 0          #: workers killed for exceeding the trial timeout
+    worker_deaths: int = 0     #: workers found dead mid-trial or idle
+    respawns: int = 0          #: replacement workers started
+    corrupt: int = 0           #: corrupt cache entries quarantined to *.bad
     batches: int = 0           #: run_tasks invocations
     wall_ns: int = 0           #: host time spent inside run_tasks
     busy_ns: int = 0           #: summed per-trial compute time
@@ -62,6 +79,13 @@ class EngineCounters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "uncacheable": self.uncacheable,
+            "resumed": self.resumed,
+            "shard_skipped": self.shard_skipped,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "corrupt": self.corrupt,
             "batches": self.batches,
             "wall_ns": self.wall_ns,
             "busy_ns": self.busy_ns,
@@ -69,21 +93,65 @@ class EngineCounters:
         }
 
 
-class Engine:
-    """Runs batches of :class:`TrialTask` with caching and parallelism."""
+class ShardValue(float):
+    """Placeholder value for a trial owned by another shard.
 
-    def __init__(self, jobs: int = 1, cache: TrialCache | None = None):
+    Behaves as ``0.0`` in arithmetic and as an all-zeros mapping under
+    item access, so exhibit runners can fold it into series without
+    special-casing.  Artifacts containing shard placeholders are never
+    emitted -- the CLI suppresses saving in shard mode; the real values
+    come from the merge run (``--resume`` over the union of shards).
+    """
+
+    def __new__(cls):
+        return super().__new__(cls, 0.0)
+
+    def __getitem__(self, key):
+        return ShardValue()
+
+    def get(self, key, default=None):
+        """Mapping-style access: every field is another placeholder."""
+        return ShardValue()
+
+
+class Engine:
+    """Runs batches of :class:`TrialTask` with caching, supervision and
+    crash-safe journaling."""
+
+    def __init__(self, jobs: int = 1, cache: TrialCache | None = None,
+                 journal=None, policy: RetryPolicy | None = None,
+                 faults=None, shard: tuple[int, int] | None = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if shard is not None:
+            k, n = shard
+            if n < 1 or not 1 <= k <= n:
+                raise ValueError(f"shard must be (k, n) with 1 <= k <= n, "
+                                 f"got {shard}")
         self.jobs = jobs
         self.cache = cache
+        self.journal = journal
+        self.policy = policy
+        self.faults = faults
+        self.shard = shard
         self.counters = EngineCounters()
+        #: unique trials planned over this engine's lifetime -- the
+        #: deterministic enumeration shards partition
+        self._planned = 0
 
     # ------------------------------------------------------------------
+    def _owns(self, plan_index: int) -> bool:
+        """Whether this shard owns the trial at ``plan_index``."""
+        if self.shard is None:
+            return True
+        k, n = self.shard
+        return plan_index % n == k - 1
+
     def run_tasks(self, tasks) -> list:
         """Execute ``tasks``; returns their values in submission order."""
         tasks = list(tasks)
         started = time.perf_counter_ns()
+        corrupt_before = self.cache.corrupt if self.cache is not None else 0
         unique: dict[object, int] = {}
         order: list[TrialTask] = []
         keys: list[object] = []
@@ -102,37 +170,66 @@ class Engine:
         self.counters.duplicates += len(tasks) - len(order)
 
         values: list = [None] * len(order)
-        misses: list[tuple[int, TrialTask]] = []
+        misses: list[tuple[int, TrialTask, str | None]] = []
         for i, task in enumerate(order):
-            hit = False
+            identity = task.cache_text()
+            plan_index = self._planned
+            self._planned += 1
+            if self.journal is not None and identity is not None:
+                self.journal.plan(identity)
+                hit, value = self.journal.lookup(identity)
+                if hit:
+                    self.counters.resumed += 1
+                    values[i] = value
+                    continue
             if self.cache is not None:
                 hit, value = self.cache.get(task)
-            if hit:
-                self.counters.cache_hits += 1
-                values[i] = value
-            else:
-                misses.append((i, task))
+                if hit:
+                    self.counters.cache_hits += 1
+                    values[i] = value
+                    if self.journal is not None and identity is not None:
+                        self.journal.record(identity, value)
+                    continue
+            if not self._owns(plan_index):
+                self.counters.shard_skipped += 1
+                values[i] = ShardValue()
+                continue
+            misses.append((i, task, identity))
 
         if misses:
-            miss_tasks = [t for _, t in misses]
-            if self.jobs > 1:
-                outcomes = run_parallel(miss_tasks, self.jobs)
-            else:
-                outcomes = run_serial(miss_tasks)
-            for (i, task), outcome in zip(misses, outcomes):
+            miss_tasks = [t for _, t, _ in misses]
+
+            def on_outcome(pos: int, outcome) -> None:
+                i, task, identity = misses[pos]
                 values[i] = outcome.value
                 self.counters.busy_ns += outcome.busy_ns
                 pid_busy = self.counters.workers.get(outcome.worker_pid, 0)
-                self.counters.workers[outcome.worker_pid] = pid_busy + outcome.busy_ns
+                self.counters.workers[outcome.worker_pid] = \
+                    pid_busy + outcome.busy_ns
                 if self.cache is not None:
-                    if task.cache_text() is None:
+                    if identity is None:
                         self.counters.uncacheable += 1
                     else:
                         self.counters.cache_misses += 1
                         self.cache.put(task, outcome.value)
                 else:
                     self.counters.cache_misses += 1
+                if self.journal is not None and identity is not None:
+                    self.journal.record(identity, outcome.value)
 
+            if self.jobs > 1 and len(miss_tasks) > 1:
+                _, stats = run_supervised(
+                    miss_tasks, self.jobs, policy=self.policy,
+                    faults=self.faults, on_outcome=on_outcome)
+                self.counters.retries += stats.retries
+                self.counters.timeouts += stats.timeouts
+                self.counters.worker_deaths += stats.worker_deaths
+                self.counters.respawns += stats.respawns
+            else:
+                run_serial(miss_tasks, on_outcome=on_outcome)
+
+        if self.cache is not None:
+            self.counters.corrupt += self.cache.corrupt - corrupt_before
         self.counters.wall_ns += time.perf_counter_ns() - started
         return [values[unique[key]] for key in keys]
 
@@ -149,9 +246,21 @@ class Engine:
         """One-line human summary (the CLI prints this after a run)."""
         c = self.counters
         cached = "off" if self.cache is None else str(self.cache.root)
-        return (f"engine: {c.trials} trials, {c.cache_hits} cache hits, "
+        text = (f"engine: {c.trials} trials, {c.cache_hits} cache hits, "
                 f"{c.cache_misses} computed, jobs={self.jobs}, "
                 f"utilization={self.utilization():.0%}, cache={cached}")
+        if c.resumed:
+            text += f", resumed={c.resumed}"
+        if c.shard_skipped:
+            k, n = self.shard
+            text += f", shard {k}/{n} skipped={c.shard_skipped}"
+        if c.retries or c.timeouts or c.respawns:
+            text += (f"; supervision: {c.retries} retries, "
+                     f"{c.timeouts} timeouts, {c.worker_deaths} deaths, "
+                     f"{c.respawns} respawns")
+        if c.corrupt:
+            text += f"; quarantined {c.corrupt} corrupt cache entries"
+        return text
 
 
 #: the ambient engine used when runners are not handed one explicitly

@@ -1,0 +1,153 @@
+"""Durable sweep journal: the crash-safe record of one sweep's trials.
+
+A journal is an append-only JSONL file under ``<cache-root>/journal/``
+with one record per event:
+
+* ``{"t": "plan", "i": N, "k": <identity>}`` -- trial ``k`` is the
+  ``N``-th unique trial planned by this sweep (the enumeration
+  ``--shard k/N`` partitions);
+* ``{"t": "done", "k": <identity>, "v": <value>}`` -- trial ``k``
+  completed with ``v``.
+
+``k`` is the task's canonical identity (:meth:`TrialTask.cache_text`);
+the **code fingerprint is folded into the journal's filename**, so a
+journal can only ever be resumed against the exact tree that wrote it
+-- an edited simulator starts a fresh journal rather than replaying
+stale values.
+
+Appends happen under a :class:`~repro.engine.locks.FileLock` and are
+flushed + fsynced line-at-a-time, so concurrent shards may share one
+journal and a ``kill -9`` at any instant loses at most the in-flight
+trials.  The loader tolerates a truncated final line (the signature of
+a crash mid-append) and duplicate records (the signature of concurrent
+writers), which is what makes ``repro run <exp> --resume`` safe: load,
+skip everything recorded ``done``, execute only the rest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import re
+
+from repro.engine.locks import FileLock
+
+#: bump when the record layout changes (folded into the journal id)
+JOURNAL_SCHEMA = 1
+
+
+def journal_id(experiments, params=None) -> str:
+    """Stable id of one sweep: experiments + params + code fingerprint.
+
+    Two invocations resume each other only when all three match -- the
+    same guarantee the trial cache gives, lifted to whole sweeps.
+    """
+    from repro.engine.fingerprint import core_fingerprint
+
+    blob = json.dumps({
+        "schema": JOURNAL_SCHEMA,
+        "experiments": sorted(str(e) for e in experiments),
+        "params": dict(params or {}),
+        "code": core_fingerprint(),
+    }, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+class SweepJournal:
+    """Append-only plan/outcome log for one sweep (see module docs)."""
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        #: trial identity -> completed value
+        self.completed: dict[str, object] = {}
+        #: trial identity -> enumeration index (submission order)
+        self.planned: dict[str, int] = {}
+        self.appends = 0
+        self._lock = FileLock(self.path.parent / (self.path.name + ".lock"))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, root, experiments, params=None,
+             resume: bool = False) -> "SweepJournal":
+        """The journal for one sweep under ``root``.
+
+        ``resume=False`` starts fresh (any stale journal for the same
+        sweep id is discarded); ``resume=True`` loads prior plan/done
+        records so completed trials replay without computing.  Shard
+        runs always open with ``resume=True`` -- they are partial by
+        design and must compose with their siblings.
+        """
+        root = pathlib.Path(root)
+        label = re.sub(r"[^A-Za-z0-9_.-]+", "-",
+                       "-".join(sorted(str(e) for e in experiments)))[:48]
+        journal = cls(root / f"{label}.{journal_id(experiments, params)}.jsonl")
+        if resume:
+            journal.load()
+        else:
+            try:
+                journal.path.unlink()
+            except OSError:
+                pass
+        return journal
+
+    def load(self) -> int:
+        """Replay the on-disk records; returns how many lines parsed.
+
+        Unparseable lines (a truncated tail after a crash) and
+        duplicate records (concurrent writers) are skipped silently --
+        a journal can lose work, never corrupt it.
+        """
+        parsed = 0
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return 0
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+                kind, key = record["t"], record["k"]
+            except (ValueError, TypeError, KeyError):
+                continue
+            if kind == "plan":
+                self.planned.setdefault(key, len(self.planned))
+            elif kind == "done" and "v" in record:
+                self.completed.setdefault(key, record["v"])
+            parsed += 1
+        return parsed
+
+    # ------------------------------------------------------------------
+    def plan(self, key: str) -> int:
+        """Record that ``key`` is part of this sweep; returns its index."""
+        if key in self.planned:
+            return self.planned[key]
+        index = len(self.planned)
+        self.planned[key] = index
+        self._append({"t": "plan", "i": index, "k": key})
+        return index
+
+    def record(self, key: str, value) -> None:
+        """Durably record ``key``'s completed ``value`` (idempotent)."""
+        if key in self.completed:
+            return
+        self.completed[key] = value
+        self._append({"t": "done", "k": key, "v": value})
+
+    def lookup(self, key: str) -> tuple[bool, object]:
+        """``(hit, value)`` for a previously recorded trial."""
+        if key in self.completed:
+            return True, self.completed[key]
+        return False, None
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        """One locked, fsynced line: atomic with respect to siblings."""
+        line = json.dumps(record, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            with open(self.path, "a") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self.appends += 1

@@ -12,10 +12,14 @@ answers all three.  Every ``repro run ... --out`` (and ``repro profile
   be matched against cache entries and against the tree that wrote it;
 * the Python version and host wall time;
 * the engine counters, **aggregated across pool workers**: trials,
-  dedup/cache tallies and the per-worker busy nanoseconds folded into
-  a pid-free sorted list.  Because the engine merges worker outcomes
-  in the parent, a ``--jobs N`` manifest's counter totals are equal to
-  the serial run's -- a property the tests gate on.
+  dedup/cache tallies, journal/resume and shard tallies, the
+  supervision record (retries, timeouts, worker deaths, respawns,
+  quarantined cache entries) and the per-worker busy nanoseconds
+  folded into a pid-free sorted list.  Because the engine merges
+  worker outcomes in the parent, a ``--jobs N`` manifest's counter
+  totals are equal to the serial run's -- a property the tests gate
+  on; under a seeded :class:`~repro.faults.workers.WorkerFaultPlan`
+  even the retry/timeout counts are deterministic.
 
 Documents are written with sorted keys and a trailing newline; the
 ``host`` block (wall time, python, busy lists) is informational, while
@@ -29,7 +33,7 @@ import pathlib
 import platform
 
 #: bump when the manifest layout changes
-MANIFEST_SCHEMA = 1
+MANIFEST_SCHEMA = 2
 
 #: filename written next to artifacts
 MANIFEST_NAME = "manifest.json"
@@ -52,6 +56,14 @@ def engine_provenance(engine) -> dict:
         "cache_hits": c.cache_hits,
         "cache_misses": c.cache_misses,
         "uncacheable": c.uncacheable,
+        "resumed": c.resumed,
+        "shard": list(engine.shard) if engine.shard is not None else None,
+        "shard_skipped": c.shard_skipped,
+        "retries": c.retries,
+        "timeouts": c.timeouts,
+        "worker_deaths": c.worker_deaths,
+        "respawns": c.respawns,
+        "corrupt": c.corrupt,
         "workers_used": len(c.workers),
         "host": {
             "wall_ns": c.wall_ns,

@@ -3,9 +3,13 @@
 Trials are pure and independent, so execution order cannot affect
 results; the pool maps tasks by index and the engine reassembles them in
 submission order, which is what makes ``--jobs N`` byte-identical to a
-serial run.  The ``fork`` start method is preferred (workers inherit the
-loaded registry); under ``spawn`` the initializer replays ``sys.path``
-and re-imports the experiment modules.
+serial run.  Parallel execution is delegated to the supervised pool
+(:mod:`repro.engine.supervise`): per-trial wall-clock timeouts, dead
+worker detection and bounded retry with exponential backoff, so one
+OOM-killed worker costs one retried trial, never the sweep.  The
+``fork`` start method is preferred (workers inherit the loaded
+registry); under ``spawn`` the worker replays ``sys.path`` and
+re-imports the experiment modules.
 
 Each worker reports its pid and per-task busy time so the engine can
 derive worker-utilization counters.  Those timings are host wall-clock
@@ -14,9 +18,7 @@ derive worker-utilization counters.  Those timings are host wall-clock
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import sys
 import time
 from dataclasses import dataclass
 
@@ -30,45 +32,42 @@ class TaskOutcome:
     value: object
     worker_pid: int
     busy_ns: int
+    attempts: int = 1  #: executions it took (> 1 after supervision retries)
 
 
-def _init_worker(path_entries) -> None:
-    """Worker initializer: restore sys.path and load the registry."""
-    for entry in reversed(path_entries):
-        if entry not in sys.path:
-            sys.path.insert(0, entry)
-    from repro.engine.registry import ensure_loaded
+def run_serial(tasks: list[TrialTask], on_outcome=None) -> list[TaskOutcome]:
+    """Execute every task in this process, in order.
 
-    ensure_loaded()
-
-
-def _run_indexed(indexed_task) -> tuple[int, TaskOutcome]:
-    """Run one ``(index, task)`` pair; the index rides along for merge."""
-    index, task = indexed_task
-    start = time.perf_counter_ns()
-    value = task.run()
-    busy = time.perf_counter_ns() - start
-    return index, TaskOutcome(value, os.getpid(), busy)
-
-
-def run_serial(tasks: list[TrialTask]) -> list[TaskOutcome]:
-    """Execute every task in this process, in order."""
-    return [_run_indexed((i, t))[1] for i, t in enumerate(tasks)]
+    ``on_outcome(index, outcome)`` fires after each task so callers can
+    persist results incrementally (the same streaming contract the
+    supervised pool offers).
+    """
+    outcomes = []
+    pid = os.getpid()
+    for index, task in enumerate(tasks):
+        start = time.perf_counter_ns()
+        value = task.run()
+        outcome = TaskOutcome(value, pid, time.perf_counter_ns() - start)
+        outcomes.append(outcome)
+        if on_outcome is not None:
+            on_outcome(index, outcome)
+    return outcomes
 
 
-def run_parallel(tasks: list[TrialTask], jobs: int) -> list[TaskOutcome]:
-    """Execute tasks on a ``jobs``-wide pool; results in submission order."""
+def run_parallel(tasks: list[TrialTask], jobs: int, policy=None, faults=None,
+                 on_outcome=None) -> list[TaskOutcome]:
+    """Execute tasks on a supervised ``jobs``-wide pool, in submission order.
+
+    Small batches fall back to the serial path (no pool start-up cost;
+    fault plans target pool workers and are not applied there).  See
+    :func:`repro.engine.supervise.run_supervised` for the supervision
+    semantics; this wrapper discards the :class:`PoolStats` -- callers
+    that surface retry/timeout counters use ``run_supervised`` directly.
+    """
     if jobs < 2 or len(tasks) < 2:
-        return run_serial(tasks)
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    workers = min(jobs, len(tasks))
-    outcomes: list[TaskOutcome | None] = [None] * len(tasks)
-    with ctx.Pool(processes=workers, initializer=_init_worker,
-                  initargs=(list(sys.path),)) as pool:
-        # chunksize 1: trial costs vary wildly across the axis, so let
-        # the pool load-balance instead of pre-slicing.
-        for index, outcome in pool.imap_unordered(
-                _run_indexed, list(enumerate(tasks)), chunksize=1):
-            outcomes[index] = outcome
-    return outcomes  # type: ignore[return-value]
+        return run_serial(tasks, on_outcome=on_outcome)
+    from repro.engine.supervise import run_supervised
+
+    outcomes, _ = run_supervised(tasks, jobs, policy=policy, faults=faults,
+                                 on_outcome=on_outcome)
+    return outcomes

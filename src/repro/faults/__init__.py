@@ -4,6 +4,11 @@ The package splits into the *description* (:mod:`repro.faults.plan`: a
 seeded, immutable :class:`FaultPlan` DSL) and the *wiring*
 (:mod:`repro.faults.install`); the mechanics live next to the hardware
 they model, in :mod:`repro.netsim.transport`.
+
+:mod:`repro.faults.workers` applies the same seeded-plan discipline one
+level up: :class:`WorkerFaultPlan` kills or hangs the *engine's own
+pool workers*, chaos-testing the supervised executor in
+:mod:`repro.engine.supervise`.
 """
 
 from repro.faults.install import install_faults, pending_work
@@ -14,12 +19,14 @@ from repro.faults.plan import (
     RetransmitPolicy,
     drop_plan,
 )
+from repro.faults.workers import WorkerFaultPlan
 
 __all__ = [
     "ContextFailure",
     "DegradeWindow",
     "FaultPlan",
     "RetransmitPolicy",
+    "WorkerFaultPlan",
     "drop_plan",
     "install_faults",
     "pending_work",

@@ -1,7 +1,8 @@
 """Engine counters surfaced in the observability subsystem's formats.
 
 The experiment engine keeps SPC-style counters (trials, cache hits and
-misses, per-worker busy time).  This module renders them the same way
+misses, journal resumes, shard skips, supervision retries/timeouts/
+respawns, quarantined cache entries, per-worker busy time).  This module renders them the same way
 :class:`~repro.obs.metrics.MetricsRegistry` renders the simulator's
 counters -- a stable-column CSV plus a compact human summary -- so the
 two surfaces read alike.  Unlike the simulator's counters these are
@@ -15,7 +16,9 @@ from __future__ import annotations
 #: stable column order for the engine counters CSV
 ENGINE_COLUMNS = (
     "trials", "duplicates", "cache_hits", "cache_misses", "uncacheable",
-    "batches", "wall_ns", "busy_ns", "workers_used", "jobs", "utilization",
+    "resumed", "shard_skipped", "retries", "timeouts", "worker_deaths",
+    "respawns", "corrupt", "batches", "wall_ns", "busy_ns", "workers_used",
+    "jobs", "utilization",
 )
 
 

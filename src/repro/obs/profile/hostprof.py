@@ -13,10 +13,17 @@ time spent inside C builtins (``heapq.heappush``, ``dict`` methods)
 attributes to the *calling* Python function's self time, which is both
 what an optimization pass wants to see and stable across CPython
 minor versions that move stdlib code between Python and C.
+
+Cyclic GC is paused while the hook is installed (after one collection
+to drain pending garbage): a collection firing mid-profile runs
+``__del__``/weakref callbacks of whatever *earlier* code left behind,
+and those Python frames would land in the call counts -- the only way
+host state could leak into the deterministic columns.
 """
 
 from __future__ import annotations
 
+import gc
 import sys
 import time
 
@@ -59,12 +66,16 @@ class HostProfiler:
         self._stack: list[list] = []     # [key, start_ns, child_ns]
         self._keys: dict = {}            # code object -> key cache
         self._active = False
+        self._gc_was_enabled = True
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Install the profile hook (no-op if already active)."""
         if self._active:
             return
+        self._gc_was_enabled = gc.isenabled()
+        gc.collect()            # drain pending finalizers outside the window
+        gc.disable()
         self._active = True
         sys.setprofile(self._hook)
 
@@ -74,6 +85,8 @@ class HostProfiler:
             return
         sys.setprofile(None)
         self._active = False
+        if self._gc_was_enabled:
+            gc.enable()
         now = self._clock()
         while self._stack:
             self._close(self._stack.pop(), now)

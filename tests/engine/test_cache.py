@@ -69,6 +69,44 @@ def test_corrupt_entry_reads_as_miss(tmp_path):
     assert cache.get(task) == (True, 5.0)
 
 
+def test_corrupt_entry_quarantined_not_left_in_place(tmp_path):
+    cache = TrialCache(tmp_path)
+    task = _task()
+    cache.put(task, 5.0)
+    path = cache._path(cache.key_for(task))
+    path.write_text("{truncated by a crashed wr")
+    assert cache.get(task) == (False, None)
+    assert cache.corrupt == 1
+    assert not path.exists()                      # moved aside, not reread
+    bad = path.with_name(path.name + cache_mod.BAD_SUFFIX)
+    assert bad.read_text() == "{truncated by a crashed wr"  # evidence kept
+    assert cache.quarantined_count() == 1
+    # the quarantined file never reads as a live entry again
+    assert cache.get(task) == (False, None)
+    assert cache.corrupt == 1                     # quarantined exactly once
+
+
+def test_entry_missing_value_key_is_quarantined(tmp_path):
+    cache = TrialCache(tmp_path)
+    task = _task()
+    cache.put(task, 5.0)
+    path = cache._path(cache.key_for(task))
+    path.write_text(json.dumps({"format": 1, "fn": "cachetest.echo"}))
+    assert cache.get(task) == (False, None)
+    assert cache.corrupt == 1 and cache.quarantined_count() == 1
+
+
+def test_clear_removes_quarantined_entries(tmp_path):
+    cache = TrialCache(tmp_path)
+    task = _task()
+    cache.put(task, 5.0)
+    cache._path(cache.key_for(task)).write_text("junk")
+    cache.get(task)
+    assert cache.quarantined_count() == 1
+    cache.clear()
+    assert cache.quarantined_count() == 0
+
+
 def test_stale_format_reads_as_miss(tmp_path):
     cache = TrialCache(tmp_path)
     task = _task()

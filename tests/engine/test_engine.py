@@ -115,3 +115,39 @@ def test_set_engine_returns_previous():
 def test_summary_mentions_cache_state(tmp_path):
     assert "cache=off" in Engine().summary()
     assert str(tmp_path) in Engine(cache=TrialCache(tmp_path)).summary()
+
+
+def test_corrupt_entry_recomputed_and_counted(tmp_path):
+    cache = TrialCache(tmp_path)
+    Engine(cache=cache).run_tasks(_tasks([1, 2]))
+    victim = cache._path(cache.key_for(_tasks([1])[0]))
+    victim.write_text("{torn write")
+
+    engine = Engine(cache=TrialCache(tmp_path))
+    assert engine.run_tasks(_tasks([1, 2])) == [6.0, 7.0]
+    assert engine.counters.corrupt == 1
+    assert engine.counters.cache_hits == 1        # the intact entry
+    assert engine.counters.cache_misses == 1      # the quarantined one
+    assert "quarantined 1 corrupt cache entries" in engine.summary()
+
+
+def test_supervision_counters_zero_on_clean_parallel_run():
+    engine = Engine(jobs=4)
+    engine.run_tasks(_tasks(range(8)))
+    c = engine.counters
+    assert (c.retries, c.timeouts, c.worker_deaths, c.respawns) == (0, 0, 0, 0)
+    assert "supervision" not in engine.summary()
+
+
+def test_fault_injection_surfaces_in_counters_and_summary():
+    from repro.engine import RetryPolicy
+    from repro.faults import WorkerFaultPlan
+
+    engine = Engine(jobs=2,
+                    policy=RetryPolicy(max_retries=2, backoff_s=0.01),
+                    faults=WorkerFaultPlan(seed=3, kill_rate=1.0))
+    values = engine.run_tasks(_tasks(range(4)))
+    assert values == Engine().run_tasks(_tasks(range(4)))
+    assert engine.counters.worker_deaths == 4
+    assert engine.counters.retries == 4
+    assert "supervision: 4 retries" in engine.summary()

@@ -1,0 +1,108 @@
+"""SweepJournal: durable plan/done records, resume, crash tolerance."""
+
+import json
+
+from repro.engine import SweepJournal, journal_id
+from repro.engine import fingerprint as fingerprint_mod
+
+
+def _open(tmp_path, resume=False, experiments=("jt",), params=None):
+    return SweepJournal.open(tmp_path / "journal", experiments,
+                             params=params, resume=resume)
+
+
+def test_plan_record_lookup_roundtrip(tmp_path):
+    journal = _open(tmp_path)
+    assert journal.plan("k1") == 0
+    assert journal.plan("k2") == 1
+    assert journal.plan("k1") == 0          # replanning is stable
+    assert journal.lookup("k1") == (False, None)
+    journal.record("k1", {"rate": 2.5})
+    assert journal.lookup("k1") == (True, {"rate": 2.5})
+
+
+def test_resume_replays_records(tmp_path):
+    first = _open(tmp_path)
+    first.plan("k1")
+    first.record("k1", 7.0)
+    first.plan("k2")
+
+    resumed = _open(tmp_path, resume=True)
+    assert resumed.lookup("k1") == (True, 7.0)
+    assert resumed.lookup("k2") == (False, None)
+    assert resumed.planned == {"k1": 0, "k2": 1}
+
+
+def test_fresh_open_discards_stale_journal(tmp_path):
+    stale = _open(tmp_path)
+    stale.plan("k1")
+    stale.record("k1", 7.0)
+
+    fresh = _open(tmp_path, resume=False)
+    assert fresh.lookup("k1") == (False, None)
+    assert fresh.planned == {}
+
+
+def test_record_is_idempotent(tmp_path):
+    journal = _open(tmp_path)
+    journal.plan("k1")
+    journal.record("k1", 1.0)
+    before = journal.appends
+    journal.record("k1", 2.0)               # second value ignored
+    assert journal.appends == before
+    assert journal.lookup("k1") == (True, 1.0)
+
+
+def test_truncated_tail_is_tolerated(tmp_path):
+    journal = _open(tmp_path)
+    journal.plan("k1")
+    journal.record("k1", 7.0)
+    journal.plan("k2")
+    # simulate a crash mid-append: chop the file mid-line
+    text = journal.path.read_text()
+    journal.path.write_text(text[:-9])
+
+    resumed = _open(tmp_path, resume=True)
+    assert resumed.lookup("k1") == (True, 7.0)   # intact lines survive
+    assert "k2" not in resumed.planned           # torn line dropped
+
+
+def test_duplicate_records_first_wins(tmp_path):
+    journal = _open(tmp_path)
+    journal.plan("k1")
+    journal.record("k1", 1.0)
+    # a concurrent sibling appended the same completion again
+    with open(journal.path, "a") as handle:
+        handle.write(json.dumps({"t": "done", "k": "k1", "v": 9.0}) + "\n")
+        handle.write(json.dumps({"t": "plan", "i": 0, "k": "k1"}) + "\n")
+    resumed = _open(tmp_path, resume=True)
+    assert resumed.lookup("k1") == (True, 1.0)
+    assert resumed.planned == {"k1": 0}
+
+
+def test_concurrent_writers_compose(tmp_path):
+    a = _open(tmp_path)
+    b = _open(tmp_path, resume=True)        # a sibling shard: same file
+    a.plan("k1")
+    a.record("k1", 1.0)
+    b.plan("k2")
+    b.record("k2", 2.0)
+    merged = _open(tmp_path, resume=True)
+    assert merged.lookup("k1") == (True, 1.0)
+    assert merged.lookup("k2") == (True, 2.0)
+
+
+def test_journal_id_depends_on_sweep_identity(monkeypatch):
+    base = journal_id(["a", "b"], {"quick": True})
+    assert journal_id(["b", "a"], {"quick": True}) == base  # order-free
+    assert journal_id(["a"], {"quick": True}) != base
+    assert journal_id(["a", "b"], {"quick": False}) != base
+    monkeypatch.setattr(fingerprint_mod, "core_fingerprint",
+                        lambda: "after-an-edit")
+    assert journal_id(["a", "b"], {"quick": True}) != base  # stale tree
+
+
+def test_load_on_absent_file_is_empty(tmp_path):
+    journal = _open(tmp_path, resume=True)
+    assert journal.load() == 0
+    assert journal.completed == {} and journal.planned == {}

@@ -176,6 +176,111 @@ def test_non_positive_jobs_rejected(capsys):
     assert "positive" in capsys.readouterr().err
 
 
+def test_run_resume_replays_the_journal(tmp_path, capsys, monkeypatch):
+    import repro.experiments.extensions as ext
+    monkeypatch.setattr(ext, "MODE_PAIRS_AXIS", (1, 2))
+
+    assert main(["run", "ext-modes", "--out", str(tmp_path / "a")]) == 0
+    assert "0 cache hits" in capsys.readouterr().out
+    assert main(["run", "ext-modes", "--resume",
+                 "--out", str(tmp_path / "b")]) == 0
+    out = capsys.readouterr().out
+    assert "0 computed" in out and "resumed=" in out
+    assert ((tmp_path / "b" / "ext-modes.csv").read_bytes()
+            == (tmp_path / "a" / "ext-modes.csv").read_bytes())
+
+
+def test_run_shards_suppress_artifacts_and_merge(tmp_path, capsys,
+                                                 monkeypatch):
+    import repro.experiments.extensions as ext
+    monkeypatch.setattr(ext, "MODE_PAIRS_AXIS", (1, 2))
+
+    # clean reference from its own cache
+    monkeypatch.setenv("REPRO_TRIAL_CACHE", str(tmp_path / "ref-cache"))
+    assert main(["run", "ext-modes", "--out", str(tmp_path / "ref")]) == 0
+
+    monkeypatch.setenv("REPRO_TRIAL_CACHE", str(tmp_path / "ci-cache"))
+    for k in (1, 2):
+        shard_out = tmp_path / f"shard{k}"
+        assert main(["run", "ext-modes", "--shard", f"{k}/2",
+                     "--out", str(shard_out)]) == 0
+        printed = capsys.readouterr().out
+        assert "artifacts suppressed" in printed
+        if k == 1:
+            assert "shard 1/2 skipped=" in printed
+        else:
+            # sequential shards share the journal, so shard 2 resumes
+            # shard 1's completions instead of skipping them
+            assert "resumed=3" in printed
+        assert not (shard_out / "ext-modes.csv").exists()
+        assert (shard_out / "engine.metrics.csv").exists()
+
+    merged = tmp_path / "merged"
+    assert main(["run", "ext-modes", "--resume", "--out", str(merged)]) == 0
+    assert "0 computed" in capsys.readouterr().out
+    assert ((merged / "ext-modes.csv").read_bytes()
+            == (tmp_path / "ref" / "ext-modes.csv").read_bytes())
+
+
+def test_run_flaky_workers_byte_identical(tmp_path, capsys, monkeypatch):
+    import json
+    import repro.experiments.extensions as ext
+    monkeypatch.setattr(ext, "MODE_PAIRS_AXIS", (1,))
+
+    clean = tmp_path / "clean"
+    assert main(["run", "ext-modes", "--no-cache", "--out", str(clean)]) == 0
+    chaotic = tmp_path / "chaotic"
+    assert main(["run", "ext-modes", "--no-cache", "--jobs", "2",
+                 "--flaky-workers", "1.0", "--trial-timeout", "1",
+                 "--out", str(chaotic)]) == 0
+    out = capsys.readouterr().out
+    assert "supervision:" in out
+    assert ((chaotic / "ext-modes.csv").read_bytes()
+            == (clean / "ext-modes.csv").read_bytes())
+    engine = json.loads((chaotic / "manifest.json").read_text())["engine"]
+    assert engine["worker_deaths"] + engine["timeouts"] > 0
+    assert engine["retries"] > 0
+
+
+def test_resume_requires_cache_and_journal(capsys):
+    assert main(["run", "ext-modes", "--resume", "--no-cache"]) == 2
+    assert "--resume" in capsys.readouterr().err
+    assert main(["run", "ext-modes", "--resume", "--no-journal"]) == 2
+    assert "--resume" in capsys.readouterr().err
+
+
+def test_shard_requires_cache(capsys):
+    assert main(["run", "ext-modes", "--shard", "1/2", "--no-cache"]) == 2
+    assert "--shard" in capsys.readouterr().err
+
+
+def test_flaky_workers_requires_parallel_jobs(capsys):
+    assert main(["run", "ext-modes", "--flaky-workers", "0.2"]) == 2
+    assert "--jobs >= 2" in capsys.readouterr().err
+
+
+def test_malformed_shard_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "ext-modes", "--shard", "3/2"])
+    assert "1 <= k <= N" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["run", "ext-modes", "--shard", "banana"])
+    assert "k/N" in capsys.readouterr().err
+
+
+def test_run_manifest_records_crash_safety_params(tmp_path, monkeypatch):
+    import json
+    import repro.experiments.extensions as ext
+    monkeypatch.setattr(ext, "MODE_PAIRS_AXIS", (1,))
+    assert main(["run", "ext-modes", "--out", str(tmp_path)]) == 0
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["params"]["journal"] is True
+    assert manifest["params"]["resume"] is False
+    assert manifest["params"]["retries"] == 2
+    assert manifest["engine"]["shard"] is None
+    assert manifest["engine"]["resumed"] == 0
+
+
 def test_analyze_experiment_prints_report(capsys):
     assert main(["analyze", "fig6"]) == 0
     out = capsys.readouterr().out
