@@ -48,6 +48,11 @@ class _ProgressBase:
         self.post_round = post_round
         self.calls = 0
         self.denied = 0
+        # flattened frozen costs + a reusable Delay for the (very common)
+        # empty-progress round
+        self._cq_poll_ns = costs.cq_poll_ns
+        self._cq_event_ns = costs.cq_event_ns
+        self._empty_delay = Delay(costs.progress_empty_ns)
 
     def _progress_instance(self, cri):
         """Generator: try to progress one CRI.
@@ -69,10 +74,10 @@ class _ProgressBase:
         cri.progress_calls += 1
         events = cri.cq.poll()
         if not events:
-            yield Delay(self.costs.progress_empty_ns)
+            yield self._empty_delay
             yield from cri.lock.release()
             return 0
-        yield Delay(self.costs.cq_poll_ns + len(events) * self.costs.cq_event_ns)
+        yield Delay(self._cq_poll_ns + len(events) * self._cq_event_ns)
         # Dispatch runs with the instance lock held: completion callbacks
         # (request completion, PML matching) chain inline from the BTL
         # progress loop, exactly as in btl/uct.  This keeps each CQ's
@@ -114,7 +119,7 @@ class SerialProgress(_ProgressBase):
             if r:
                 total += r
         if total == 0:
-            yield Delay(self.costs.progress_empty_ns)
+            yield self._empty_delay
         yield from self.global_lock.release()
         if traced:
             trc.end(tid, {"completions": total, "mode": "serial"})
@@ -151,7 +156,7 @@ class ConcurrentProgress(_ProgressBase):
                 if count > 0:
                     break
         if count == 0:
-            yield Delay(self.costs.progress_empty_ns)
+            yield self._empty_delay
         if traced:
             trc.end(tid, {"completions": count, "mode": "concurrent"})
         if self.post_round is not None:

@@ -88,7 +88,7 @@ class MpiThreadEnv:
         costs = process.costs
         req = SendRequest(dst, tag, nbytes)
         state = process.comm_state(comm)
-        trc = self.sched.tracer
+        trc = process.sched.tracer
         traced = trc.enabled
         if traced:
             tid = trc.thread_track(self.sched.current)
@@ -285,15 +285,15 @@ class MpiThreadEnv:
     # ------------------------------------------------------------------
     def wait(self, request):
         """Generator: block (spinning in the progress engine) until done."""
-        costs = self.process.costs
+        process = self.process
+        progress = process.progress_engine.progress
+        backoff = process._wait_backoff_delay
+        poll = process._wait_poll_delay
         while not request.completed:
-            n = yield from self.progress()
+            n = yield from progress()
             if request.completed:
                 break
-            if n == 0:
-                yield Delay(costs.wait_backoff_ns)
-            else:
-                yield Delay(costs.wait_poll_ns)
+            yield backoff if n == 0 else poll
         if request.error is not None:
             raise request.error
         if isinstance(request, PersistentRequest):

@@ -29,6 +29,8 @@ from __future__ import annotations
 from repro.mpi.constants import ANY_SOURCE
 from repro.mpi.errors import TruncationError
 from repro.mpi.matchqueue import MatchQueue
+from repro.mpi.request import Status
+from repro.netsim.message import RTS
 from repro.simthread.atomics import AtomicCounter
 from repro.simthread.scheduler import Delay
 from repro.simthread.sync import SimLock
@@ -52,6 +54,12 @@ class MatchingEngine:
         self.allow_overtaking = comm.allow_overtaking
         self._last_matcher = None
         self._last_match_at = -(10 ** 18)
+        # flattened frozen costs + a reusable Delay for the constant
+        # receive-post charge (arrival-path hot loop)
+        costs = self.costs
+        self._hot_window = costs.match_hot_window_ns
+        self._migration_ns = costs.match_migration_ns
+        self._recv_post_delay = Delay(costs.recv_post_ns)
 
     def _trace_depths(self, trc) -> None:
         """Sample this engine's queue depths on its trace track."""
@@ -72,32 +80,32 @@ class MatchingEngine:
         penalty), which keeps serial progress amortized even while many
         threads interleave their receive posts.
         """
-        now = self.sched.now
-        me = self.sched.current
-        hot = (now - self._last_match_at) < self.costs.match_hot_window_ns
+        sched = self.sched
+        now = sched._now
+        me = sched.current
+        hot = (now - self._last_match_at) < self._hot_window
         changed = self._last_matcher is not None and self._last_matcher is not me
         self._last_matcher = me
         self._last_match_at = now
         if changed and hot:
             self.spc.match_migrations += 1
-            return self.costs.match_migration_ns
+            return self._migration_ns
         return 0
 
     def _deliver(self, req, env) -> None:
         """Complete a matched receive (bookkeeping only; cost is charged
         by the caller)."""
-        from repro.mpi.request import Status
-
+        now = self.sched._now
         if env.nbytes > req.capacity and req.capacity != 0:
             req._fail(TruncationError(
                 f"message of {env.nbytes} bytes truncates receive buffer of "
-                f"{req.capacity} bytes (src={env.src}, tag={env.tag})"), self.sched.now)
+                f"{req.capacity} bytes (src={env.src}, tag={env.tag})"), now)
         else:
             req.data = env.payload
             req.status = Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
-            req._complete(self.sched.now)
+            req._complete(now)
         if env.sent_at is not None:
-            self.process.latency.record(self.sched.now - env.sent_at)
+            self.process.latency.record(now - env.sent_at)
         self.spc.messages_received += 1
 
     def _on_matched(self, req, env) -> tuple[int, int]:
@@ -109,8 +117,6 @@ class MatchingEngine:
         truncating RTS fails the request now but still answers CTS so
         the sender can complete.
         """
-        from repro.netsim.message import RTS
-
         if env.kind == RTS:
             if env.nbytes > req.capacity and req.capacity != 0:
                 req._fail(TruncationError(
@@ -156,7 +162,7 @@ class MatchingEngine:
         if traced:
             tid = trc.thread_track(self.sched.current)
             trc.begin(tid, "match.post", "match")
-        yield Delay(costs.recv_post_ns)
+        yield self._recv_post_delay
         yield from self.lock.acquire()
         work = costs.match_base_ns // 4
         m = self.unexpected.match(req.src, req.tag)

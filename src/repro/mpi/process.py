@@ -37,10 +37,21 @@ class MpiProcess:
     def __init__(self, world, rank: int, nic, config: ThreadingConfig,
                  costs: CostModel, lock_fairness: str = "unfair"):
         self.world = world
+        #: the world's cooperative thread scheduler (fixed at construction,
+        #: cached flat for the per-message fast path)
+        self.sched = world.sched
         self.rank = rank
         self.nic = nic
         self.config = config
         self.costs = costs
+        # constant per-event costs, flattened from the frozen CostModel;
+        # the Delay records are reused across events (the scheduler only
+        # reads them)
+        self._host_gap = costs.host_gap_ns
+        self._req_complete_delay = Delay(costs.request_complete_ns)
+        self._rndv_handshake_delay = Delay(costs.rndv_handshake_ns)
+        self._wait_backoff_delay = Delay(costs.wait_backoff_ns)
+        self._wait_poll_delay = Delay(costs.wait_poll_ns)
         self.spc = SPC()
         self.pool = CRIPool(world.sched, nic, config, costs, lock_fairness)
         # The transport and the pool count retransmits/migrations into
@@ -56,11 +67,6 @@ class MpiProcess:
             post_round=self.rndv.flush)
         self._comm_states: dict[int, CommState] = {}
         self._host_free_at = 0
-
-    @property
-    def sched(self):
-        """The world's cooperative thread scheduler."""
-        return self.world.sched
 
     # ------------------------------------------------------------------
     def comm_state(self, comm) -> CommState:
@@ -133,9 +139,9 @@ class MpiProcess:
         that fully-processed messages of this process are spaced at least
         ``host_gap_ns`` apart.
         """
-        now = self.sched.now
+        now = self.sched._now
         start = self._host_free_at if self._host_free_at > now else now
-        self._host_free_at = start + self.costs.host_gap_ns
+        self._host_free_at = start + self._host_gap
         return start - now
 
     # ------------------------------------------------------------------
@@ -162,25 +168,27 @@ class MpiProcess:
             if env.kind == CTS:
                 # Rendezvous clear-to-send: release the bulk data.
                 self.rndv.queue_data(env)
-                yield Delay(self.costs.rndv_handshake_ns)
+                yield self._rndv_handshake_delay
                 return 1
             if env.kind == DATA:
                 yield from self._deliver_rndv_data(env)
                 return 1
-            state = self.comm_state_by_id(env.comm_id)
+            state = self._comm_states.get(env.comm_id)
+            if state is None:
+                state = self.comm_state_by_id(env.comm_id)
             count = yield from state.matching.handle_arrival(env)
             return count
         if type(event) is SendCompletion:
-            event.request._complete(self.sched.now)
-            yield Delay(self.costs.request_complete_ns)
+            event.request._complete(self.sched._now)
+            yield self._req_complete_delay
             return 1
         if type(event) is RmaCompletion:
             op = event.op
-            op.mark_completed(self.sched.now)
+            op.mark_completed(self.sched._now)
             notify = getattr(op, "on_completed", None)
             if notify is not None:
                 notify()
-            yield Delay(self.costs.request_complete_ns)
+            yield self._req_complete_delay
             return 1
         if type(event) is TransportFailure:
             yield from self._dispatch_transport_failure(event)

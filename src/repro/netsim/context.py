@@ -18,6 +18,10 @@ from repro.netsim.cq import CompletionQueue, RecvArrival, RmaCompletion, SendCom
 class NetworkContext:
     """One injection queue + CQ pair on a NIC."""
 
+    __slots__ = ("nic", "index", "cq", "inject_free_at", "_endpoints",
+                 "sends_posted", "rma_posted", "spc", "failed", "failover",
+                 "fabric", "sched", "_doorbell_delay")
+
     def __init__(self, nic, index: int):
         self.nic = nic
         self.index = index
@@ -32,6 +36,13 @@ class NetworkContext:
         self.failed = False
         #: surviving context that inherits this one's traffic once dead
         self.failover = None
+        #: the interconnect this context's NIC belongs to, and its
+        #: scheduler -- both fixed at construction, cached flat for the
+        #: per-message fast path
+        self.fabric = nic.fabric
+        self.sched = nic.fabric.sched
+        # constant doorbell cost, one record reused for every post
+        self._doorbell_delay = Delay(nic.fabric.params.doorbell_ns)
 
     def live(self) -> "NetworkContext":
         """This context, or its failover chain's surviving end."""
@@ -39,16 +50,6 @@ class NetworkContext:
         while ctx.failed and ctx.failover is not None:
             ctx = ctx.failover
         return ctx
-
-    @property
-    def fabric(self):
-        """The interconnect this context's NIC belongs to."""
-        return self.nic.fabric
-
-    @property
-    def sched(self):
-        """The simulation scheduler (for virtual time and events)."""
-        return self.nic.fabric.sched
 
     # ------------------------------------------------------------------
     def endpoint_to(self, dst_ctx: "NetworkContext"):
@@ -71,10 +72,11 @@ class NetworkContext:
         connections).
         """
         sched = self.sched
-        envelope.sent_at = sched.now
+        fabric = self.fabric
+        envelope.sent_at = sched._now
         self.sends_posted += 1
         start, done = self.nic.injection_window(self, envelope.wire_bytes)
-        faults = self.fabric.faults
+        faults = fabric.faults
         if faults is not None:
             # Reliable mode: the frame layer schedules delivery/ack/
             # retransmit; local completion is deferred to the ack.
@@ -82,14 +84,14 @@ class NetworkContext:
         else:
             if envelope.send_request is not None:
                 sched.call_at(done, self.cq.push, SendCompletion(envelope.send_request))
-            deliver_at = endpoint.fifo_delivery_time(done + self.fabric.wire_delay())
+            deliver_at = endpoint.fifo_delivery_time(done + fabric.wire_delay())
             sched.call_at(deliver_at, endpoint.dst_ctx.deliver, envelope)
-        yield Delay(self.fabric.params.doorbell_ns)
+        yield self._doorbell_delay
 
     def deliver(self, envelope) -> None:
         """Delivery callback: the wire handed us a message."""
         target = self.live()
-        envelope.arrived_at = target.sched.now
+        envelope.arrived_at = target.sched._now
         target.cq.push(RecvArrival(envelope))
 
     # ------------------------------------------------------------------
@@ -103,7 +105,7 @@ class NetworkContext:
         sched = self.sched
         params = self.fabric.params
         self.rma_posted += 1
-        op.issued_at = sched.now
+        op.issued_at = sched._now
         start, done = self.nic.injection_window(self, op.wire_bytes)
         if op.is_get:
             # data travels back: ack latency plus payload serialization
@@ -122,7 +124,7 @@ class NetworkContext:
             # paper finds "little benefit from concurrent progress" on
             # the one-sided path.
             sched.call_at(remote_at + ack_extra, self._complete_rma, op)
-        yield Delay(params.doorbell_ns)
+        yield self._doorbell_delay
 
     def _complete_rma(self, op) -> None:
         """Hardware-counter completion callback for a one-sided op."""

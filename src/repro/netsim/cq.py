@@ -70,16 +70,22 @@ class CompletionQueue:
 
     def push(self, event) -> None:
         """Enqueue a hardware completion event."""
-        self._events.append(event)
+        events = self._events
+        events.append(event)
         self.events_pushed += 1
-        if len(self._events) > self.high_watermark:
-            self.high_watermark = len(self._events)
+        if len(events) > self.high_watermark:
+            self.high_watermark = len(events)
 
     def poll(self, max_events: int | None = None) -> list:
         """Drain up to ``max_events`` events (all if ``None``)."""
-        n = len(self._events) if max_events is None else min(max_events, len(self._events))
-        out = [self._events.popleft() for _ in range(n)]
-        self.events_polled += n
+        events = self._events
+        if max_events is None or max_events >= len(events):
+            # common case: full drain -- one bulk copy, no per-event pops
+            out = list(events)
+            events.clear()
+        else:
+            out = [events.popleft() for _ in range(max_events)]
+        self.events_polled += len(out)
         return out
 
     def __len__(self) -> int:

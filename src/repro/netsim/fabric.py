@@ -62,6 +62,9 @@ class FabricParams:
 class Fabric:
     """The interconnect instance: a factory for NICs sharing parameters."""
 
+    __slots__ = ("sched", "params", "nics", "faults",
+                 "_wire_latency", "_wire_jitter", "_randrange")
+
     def __init__(self, sched, params: FabricParams):
         self.sched = sched
         self.params = params
@@ -69,6 +72,12 @@ class Fabric:
         #: :class:`~repro.netsim.transport.FaultInjector` when a fault
         #: plan is attached; ``None`` keeps the perfect-fabric fast path.
         self.faults = None
+        # per-message fast path: params are frozen and the scheduler's rng
+        # is fixed at construction, so flatten the three lookups wire_delay
+        # makes per message into plain attribute loads
+        self._wire_latency = params.wire_latency_ns
+        self._wire_jitter = params.wire_jitter_ns
+        self._randrange = sched.rng.randrange
 
     def attach_faults(self, plan):
         """Arm (or, with ``None``, disarm) the reliable transport.
@@ -95,7 +104,7 @@ class Fabric:
 
     def wire_delay(self) -> int:
         """One message's one-way wire time: latency + seeded jitter."""
-        p = self.params
-        if p.wire_jitter_ns:
-            return p.wire_latency_ns + self.sched.rng.randrange(p.wire_jitter_ns)
-        return p.wire_latency_ns
+        jitter = self._wire_jitter
+        if jitter:
+            return self._wire_latency + self._randrange(jitter)
+        return self._wire_latency

@@ -18,6 +18,10 @@ class Nic:
     a lock -- hardware arbitration needs no software synchronization.
     """
 
+    __slots__ = ("fabric", "nic_id", "contexts", "_pipeline_free_at",
+                 "messages_injected", "bytes_injected", "_sched",
+                 "_inject_overhead", "_per_byte", "_pipeline_gap")
+
     def __init__(self, fabric, nic_id: int):
         self.fabric = fabric
         self.nic_id = nic_id
@@ -25,6 +29,12 @@ class Nic:
         self._pipeline_free_at: int = 0
         self.messages_injected: int = 0
         self.bytes_injected: int = 0
+        # flattened frozen params + scheduler for the per-message window
+        # computation (three attribute chains -> plain loads)
+        self._sched = fabric.sched
+        self._inject_overhead = fabric.params.inject_overhead_ns
+        self._per_byte = fabric.params.per_byte_ns
+        self._pipeline_gap = fabric.params.pipeline_gap_ns
 
     def create_context(self) -> NetworkContext:
         """Add a network context (injection queue + CQ) to this NIC."""
@@ -43,15 +53,14 @@ class Nic:
         Returns ``(start, done)`` virtual times.  Mutates the NIC pipeline
         and the context's injection-queue availability.
         """
-        p = self.fabric.params
-        now = self.fabric.sched.now
-        start = max(now, self._pipeline_free_at, ctx.inject_free_at)
-        serialization = int(nbytes * p.per_byte_ns)
-        done = start + p.inject_overhead_ns + serialization
+        start = max(self._sched._now, self._pipeline_free_at, ctx.inject_free_at)
+        serialization = int(nbytes * self._per_byte)
+        done = start + self._inject_overhead + serialization
         # The link itself is one pipe: the NIC cannot start the next
         # message (from ANY context) until this one's bytes are on the
         # wire, and never faster than the message-pipeline gap.
-        self._pipeline_free_at = start + max(p.pipeline_gap_ns, serialization)
+        gap = self._pipeline_gap
+        self._pipeline_free_at = start + (gap if gap > serialization else serialization)
         ctx.inject_free_at = done
         self.messages_injected += 1
         self.bytes_injected += nbytes

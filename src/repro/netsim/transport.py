@@ -170,7 +170,8 @@ class Frame:
 class ReliableLink:
     """Ack/retransmit state of one unidirectional endpoint."""
 
-    __slots__ = ("endpoint", "injector", "policy", "_next_seq", "_delivered")
+    __slots__ = ("endpoint", "injector", "policy", "_next_seq", "_delivered",
+                 "_sched", "_fabric")
 
     def __init__(self, endpoint, injector: FaultInjector):
         self.endpoint = endpoint
@@ -178,14 +179,9 @@ class ReliableLink:
         self.policy = injector.plan.retransmit
         self._next_seq = 0
         self._delivered: set[int] = set()
-
-    @property
-    def _sched(self):
-        return self.endpoint.src_ctx.sched
-
-    @property
-    def _fabric(self):
-        return self.endpoint.src_ctx.fabric
+        # fixed at construction; cached flat for the per-frame callbacks
+        self._sched = endpoint.src_ctx.sched
+        self._fabric = endpoint.src_ctx.fabric
 
     # ------------------------------------------------------------------
     # sender side

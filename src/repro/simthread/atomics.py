@@ -20,13 +20,16 @@ from repro.simthread.scheduler import Delay
 class AtomicCounter:
     """Atomic integer with fetch-and-add semantics."""
 
-    __slots__ = ("_sched", "_value", "cost_ns", "operations")
+    __slots__ = ("_sched", "_value", "cost_ns", "operations", "_cost_delay")
 
     def __init__(self, sched, start: int = 0, cost_ns: int = 30):
         self._sched = sched
         self._value = start
         self.cost_ns = cost_ns
         self.operations = 0
+        # one reusable record for the constant RMW cost (hot: sequence
+        # counters and round-robin tickets hit this per message)
+        self._cost_delay = Delay(cost_ns)
 
     @property
     def value(self) -> int:
@@ -38,14 +41,14 @@ class AtomicCounter:
         old = self._value
         self._value += n
         self.operations += 1
-        yield Delay(self.cost_ns)
+        yield self._cost_delay
         return old
 
     def store(self, value: int):
         """Generator: atomic store."""
         self._value = value
         self.operations += 1
-        yield Delay(self.cost_ns)
+        yield self._cost_delay
 
 
 class AtomicFlag:

@@ -21,6 +21,31 @@ Simulated threads communicate with the scheduler by yielding *commands*:
 
 Anything more elaborate (locks, barriers, atomics) is built on top of these
 three primitives in sibling modules.
+
+Hot-loop design (see ``docs/PERFORMANCE.md``)
+---------------------------------------------
+Event records are bare tuples on the heap: ``(when, tick, item)`` where
+``item`` is either a :class:`SimThread` or a plain ``(fn, args)`` tuple
+for a :meth:`call_at` callback -- no per-event wrapper objects are
+allocated.  The loop itself comes in two interchangeable bodies:
+
+* :meth:`_run_fast` -- the default.  Chosen when no stats, sampler,
+  watchdog or event/time bound is installed; everything (heap ops, the
+  rng, the tick counter, command dispatch) is bound to locals and the
+  per-command branches are inlined, with the most frequent command
+  (``Delay``) tested first.
+* :meth:`_run_full` -- the instrumented body.  Identical event semantics
+  plus the per-event ``is not None`` hooks (sampler, watchdog,
+  :class:`~repro.simthread.stats.SchedStats` counters, ``max_time`` /
+  ``max_events`` bounds).
+
+:meth:`run` picks the body per call, which hoists every observability
+branch out of the uninstrumented loop entirely.  Both bodies consume the
+tick counter and the rng in the same order, so the schedule -- and every
+deterministic artifact derived from it -- is byte-identical regardless of
+which body ran.  Installing a sampler/watchdog/stats *while the loop is
+running* is not supported (install before :meth:`run`, as all in-tree
+callers do).
 """
 
 from __future__ import annotations
@@ -41,6 +66,10 @@ class Delay:
     configured relative jitter, modeling cycle-level timing noise.  Pass
     ``jitter=False`` for quantities that must be exact (e.g. a calibrated
     wire latency whose jitter is modeled separately).
+
+    Delay records are immutable in practice: the scheduler only reads
+    ``ns``/``jitter``, so hot paths may allocate one per constant cost and
+    yield it repeatedly (the sync primitives and the MPI layer do).
     """
 
     __slots__ = ("ns", "jitter")
@@ -121,7 +150,8 @@ class Scheduler:
         run, ns) and ``sample(now)``; the event loop invokes it whenever
         virtual time reaches ``due``.  Used by
         :class:`repro.obs.MetricsRegistry` for interval time-series
-        without keeping the event heap artificially alive.
+        without keeping the event heap artificially alive.  Install
+        before :meth:`run`; the loop body is selected per run() call.
         """
         self._sampler = sampler
 
@@ -130,8 +160,9 @@ class Scheduler:
 
         When present (see :mod:`repro.simthread.stats`), the event loop
         tallies heap traffic, generator steps and per-kind dispatch
-        counts into it.  The counters are deterministic per seed; the
-        disabled cost is one ``is not None`` branch per operation.
+        counts into it.  The counters are deterministic per seed; with
+        no stats (and no sampler/watchdog) installed the loop runs the
+        branch-free fast body, so unprofiled runs pay nothing at all.
         """
         self._stats = stats
 
@@ -170,7 +201,7 @@ class Scheduler:
             self._stats.spawns += 1
         thread = SimThread(self, gen, name or f"thread-{len(self._threads)}")
         self._threads.append(thread)
-        self._push(thread, self.now, None)
+        self._push(thread, self._now, None)
         return thread
 
     @property
@@ -201,17 +232,19 @@ class Scheduler:
         self._nparked -= 1
         if self._stats is not None:
             self._stats.wakes += 1
-        self._push(thread, self.now + delay, value)
+        self._push(thread, self._now + delay, value)
 
     def call_at(self, when: int, fn, *args) -> None:
         """Run a plain callback (not a thread) at virtual time ``when``.
 
         Used by the network model to deliver messages: the callback runs
-        with ``self.now == when`` and must not yield.
+        with ``self.now == when`` and must not yield.  The callback is
+        stored as a bare ``(fn, args)`` tuple on the heap -- no wrapper
+        object is allocated per event.
         """
         if self._stats is not None:
             self._stats.heap_pushes += 1
-        heapq.heappush(self._heap, (when, next(self._tick), _Callback(fn, args)))
+        heapq.heappush(self._heap, (when, next(self._tick), (fn, args)))
 
     def jittered(self, ns: int) -> int:
         """Apply the configured relative jitter to a cost in nanoseconds."""
@@ -227,6 +260,10 @@ class Scheduler:
     def run(self, max_time: int | None = None, max_events: int | None = None) -> int:
         """Drain the event heap; return the final virtual time in ns.
 
+        Dispatches to the uninstrumented fast body when possible (no
+        stats/sampler/watchdog and no bounds) and to the full body
+        otherwise; both produce the same schedule.
+
         Raises
         ------
         DeadlockError
@@ -235,6 +272,85 @@ class Scheduler:
             Any exception escaping a thread body is re-raised here (the
             simulation is aborted at that point).
         """
+        if (max_time is None and max_events is None and self._stats is None
+                and self._sampler is None and self._watchdog is None):
+            self._run_fast()
+        else:
+            self._run_full(max_time, max_events)
+        if max_time is None and self._nparked:
+            parked = [t for t in self._threads if t._parked and not t.done]
+            if parked:
+                raise DeadlockError(parked)
+        return self._now
+
+    def _run_fast(self) -> None:
+        """Uninstrumented loop body: everything in locals, branches inlined.
+
+        Event semantics are identical to :meth:`_run_full` with every
+        hook absent; the tick counter and rng are consumed in the same
+        order, keeping the schedule byte-identical.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        tick = self._tick.__next__
+        rng_random = self.rng.random
+        jitter = self.jitter
+        now = self._now
+        while heap:
+            when, _, item = heappop(heap)
+            if when != now:  # batch same-instant wakeups: one store per instant
+                now = when
+                self._now = when
+            self.events_processed += 1
+            if item.__class__ is tuple:
+                item[0](*item[1])
+                continue
+            if item.done:  # stale heap entry for an aborted thread
+                continue
+            value = item._resume_value
+            if value is not None:
+                item._resume_value = None
+            self.current = item
+            try:
+                cmd = item._send(value)
+            except StopIteration as stop:
+                self.current = None
+                item._finish(stop.value)
+                continue
+            except Exception as exc:
+                self.current = None
+                item._abort(exc)
+                raise
+            except BaseException:
+                self.current = None
+                raise
+            self.current = None
+            cls = cmd.__class__
+            if cls is Delay:  # by far the most frequent command
+                ns = cmd.ns
+                if cmd.jitter:
+                    if ns <= 0:
+                        ns = 0
+                    elif jitter:
+                        ns = int(ns * (1.0 + jitter * (2.0 * rng_random() - 1.0)))
+                        if ns < 0:
+                            ns = 0
+                item._run_ns += ns
+                heappush(heap, (when + ns, tick(), item))
+            elif cmd is SUSPEND:
+                item._parked = True
+                self._nparked += 1
+            elif cls is YieldNow:
+                heappush(heap, (when, tick(), item))
+            else:
+                exc = SimThreadError(
+                    f"thread {item.name} yielded unknown command {cmd!r}")
+                item._abort(exc)
+                raise exc
+
+    def _run_full(self, max_time: int | None, max_events: int | None) -> None:
+        """Instrumented loop body: sampler/watchdog/stats hooks + bounds."""
         heap = self._heap
         stats = self._stats
         while heap:
@@ -248,16 +364,18 @@ class Scheduler:
                 break
             self._now = when
             self.events_processed += 1
-            if self._sampler is not None and when >= self._sampler.due:
-                self._sampler.sample(when)
-            if self._watchdog is not None and when >= self._watchdog.due:
-                self._watchdog.check(when)
+            sampler = self._sampler
+            if sampler is not None and when >= sampler.due:
+                sampler.sample(when)
+            watchdog = self._watchdog
+            if watchdog is not None and when >= watchdog.due:
+                watchdog.check(when)
             if max_events is not None and self.events_processed > max_events:
                 raise SimThreadError(f"exceeded max_events={max_events} (runaway simulation?)")
-            if isinstance(item, _Callback):
+            if item.__class__ is tuple:
                 if stats is not None:
                     stats.events_callback += 1
-                item.fn(*item.args)
+                item[0](*item[1])
                 continue
             if item.done:  # stale heap entry for an aborted thread
                 continue
@@ -265,11 +383,6 @@ class Scheduler:
             if self._failure is not None:
                 failure, self._failure = self._failure, None
                 raise failure
-        if max_time is None and self._nparked:
-            parked = [t for t in self._threads if t._parked and not t.done]
-            if parked:
-                raise DeadlockError(parked)
-        return self.now
 
     def _step(self, thread: SimThread) -> None:
         value = thread._resume_value
@@ -280,9 +393,9 @@ class Scheduler:
         self.current = thread
         try:
             try:
-                cmd = thread._gen.send(value)
+                cmd = thread._send(value)
             except StopIteration as stop:
-                thread._finish(getattr(stop, "value", None))
+                thread._finish(stop.value)
                 return
             except Exception as exc:
                 thread._abort(exc)
@@ -291,33 +404,23 @@ class Scheduler:
         finally:
             self.current = None
 
-        if cmd is SUSPEND:
-            thread._parked = True
-            self._nparked += 1
-            if stats is not None:
-                stats.events_suspend += 1
-        elif type(cmd) is Delay:
+        cls = cmd.__class__
+        if cls is Delay:
             ns = self.jittered(cmd.ns) if cmd.jitter else cmd.ns
             thread._run_ns += ns
             if stats is not None:
                 stats.events_delay += 1
-            self._push(thread, self.now + ns, None)
-        elif type(cmd) is YieldNow:
+            self._push(thread, self._now + ns, None)
+        elif cmd is SUSPEND:
+            thread._parked = True
+            self._nparked += 1
+            if stats is not None:
+                stats.events_suspend += 1
+        elif cls is YieldNow:
             if stats is not None:
                 stats.events_yield += 1
-            self._push(thread, self.now, None)
+            self._push(thread, self._now, None)
         else:
             exc = SimThreadError(f"thread {thread.name} yielded unknown command {cmd!r}")
             thread._abort(exc)
             self._failure = exc
-
-
-class _Callback:
-    """Internal heap item wrapping a plain function call."""
-
-    __slots__ = ("fn", "args", "done")
-
-    def __init__(self, fn, args):
-        self.fn = fn
-        self.args = args
-        self.done = False

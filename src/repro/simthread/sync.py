@@ -75,7 +75,8 @@ class SimLock:
     __slots__ = ("_sched", "costs", "name", "fairness", "_owner", "_last_owner",
                  "_waiters", "acquisitions", "contended_acquisitions", "migrations",
                  "tryfails", "_handoff_queue_depth", "wait_time_ns", "hold_time_ns",
-                 "_held_since")
+                 "_held_since", "_acquire_delay", "_contended_delay",
+                 "_tryfail_delay", "_release_delay", "_simple")
 
     def __init__(self, sched, costs: LockCosts | None = None, name: str = "lock",
                  fairness: str = "unfair"):
@@ -85,6 +86,18 @@ class SimLock:
         self.costs = costs or LockCosts()
         self.name = name
         self.fairness = fairness
+        # Costs are frozen and never reassigned after construction, so the
+        # constant-cost Delay records can be allocated once and yielded
+        # repeatedly (the scheduler only reads ns/jitter; per-event jitter
+        # comes from the rng, not the record).  _simple marks the common
+        # config with no migration/convoy modeling, where the contended
+        # cost is constant too.
+        c = self.costs
+        self._acquire_delay = Delay(c.acquire_ns)
+        self._contended_delay = Delay(c.contended_ns)
+        self._tryfail_delay = Delay(c.tryfail_ns)
+        self._release_delay = Delay(c.release_ns)
+        self._simple = not (c.migration_ns or c.contended_per_waiter_ns)
         self._owner = None
         self._last_owner = None
         self._waiters: list = []
@@ -137,17 +150,21 @@ class SimLock:
     # ------------------------------------------------------------------
     def acquire(self):
         """Generator: block until the lock is owned by the calling thread."""
-        me = self._sched.current
-        trc = self._sched.tracer
+        sched = self._sched
+        me = sched.current
+        trc = sched.tracer
         if self._owner is None:
             self._owner = me
-            self._held_since = self._sched.now
+            self._held_since = sched._now
             self.acquisitions += 1
             if trc.enabled:
                 trc.lock_acquired(self, me, contended=False)
-            yield Delay(self.costs.acquire_ns + self._migration_cost(me))
+            if self._simple:
+                yield self._acquire_delay
+            else:
+                yield Delay(self.costs.acquire_ns + self._migration_cost(me))
             return
-        parked_at = self._sched.now
+        parked_at = sched._now
         if trc.enabled:
             trc.lock_wait_begin(self, me, len(self._waiters) + 1)
         self._waiters.append(me)
@@ -157,58 +174,67 @@ class SimLock:
             raise SimThreadError(f"lock {self.name}: woken without ownership")
         self.acquisitions += 1
         self.contended_acquisitions += 1
-        self.wait_time_ns += self._sched.now - parked_at
+        self.wait_time_ns += sched._now - parked_at
         if trc.enabled:
             trc.lock_wait_end(self, me)
-        convoy = self.costs.contended_per_waiter_ns * self._handoff_queue_depth
-        yield Delay(self.costs.contended_ns + convoy + self._migration_cost(me))
+        if self._simple:
+            yield self._contended_delay
+        else:
+            convoy = self.costs.contended_per_waiter_ns * self._handoff_queue_depth
+            yield Delay(self.costs.contended_ns + convoy + self._migration_cost(me))
 
     def try_acquire(self):
         """Generator: attempt the lock without blocking; returns bool."""
-        me = self._sched.current
+        sched = self._sched
+        me = sched.current
         if self._owner is None:
             self._owner = me
-            self._held_since = self._sched.now
+            self._held_since = sched._now
             self.acquisitions += 1
-            trc = self._sched.tracer
+            trc = sched.tracer
             if trc.enabled:
                 trc.lock_acquired(self, me, contended=False)
-            yield Delay(self.costs.acquire_ns + self._migration_cost(me))
+            if self._simple:
+                yield self._acquire_delay
+            else:
+                yield Delay(self.costs.acquire_ns + self._migration_cost(me))
             return True
         self.tryfails += 1
-        trc = self._sched.tracer
+        trc = sched.tracer
         if trc.enabled:
             trc.lock_tryfail(self, me)
-        yield Delay(self.costs.tryfail_ns)
+        yield self._tryfail_delay
         return False
 
     def release(self):
         """Generator: release; grants directly to one waiter if any."""
-        me = self._sched.current
+        sched = self._sched
+        me = sched.current
         if self._owner is not me:
             raise SimThreadError(
                 f"lock {self.name}: release by non-owner "
                 f"{me.name if me else None} (owner={self._owner})")
         self._last_owner = me
-        self.hold_time_ns += self._sched.now - self._held_since
-        trc = self._sched.tracer
+        self.hold_time_ns += sched._now - self._held_since
+        trc = sched.tracer
         if trc.enabled:
             trc.lock_released(self, me)
-        if self._waiters:
-            if self.fairness == "unfair" and len(self._waiters) > 1:
-                idx = self._sched.rng.randrange(len(self._waiters))
+        waiters = self._waiters
+        if waiters:
+            if len(waiters) > 1 and self.fairness == "unfair":
+                idx = sched.rng.randrange(len(waiters))
             else:
                 idx = 0
-            winner = self._waiters.pop(idx)
+            winner = waiters.pop(idx)
             self._owner = winner
-            self._held_since = self._sched.now
-            self._handoff_queue_depth = len(self._waiters)
+            self._held_since = sched._now
+            self._handoff_queue_depth = len(waiters)
             if trc.enabled:
                 trc.lock_acquired(self, winner, contended=True)
-            self._sched.wake(winner)
+            sched.wake(winner)
         else:
             self._owner = None
-        yield Delay(self.costs.release_ns)
+        yield self._release_delay
 
     def __repr__(self):  # pragma: no cover - debug aid
         state = f"held by {self._owner.name}" if self._owner else "free"

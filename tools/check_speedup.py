@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Speedup smoke: fail CI when the simcore hot loop regresses.
+
+Times one run of a perf probe (default ``simcore``) on the current
+checkout and compares it against the ``host.trajectory`` wall-clock
+entries committed in ``results/BENCH_<probe>.json``, using the same
+flagging rule as the ``repro perf report`` dashboard: the fresh
+measurement fails the gate when it exceeds
+:data:`repro.obs.dashboard.REGRESSION_FACTOR` (1.5x) times the median of
+the committed entries.
+
+Host time is noisy across machines, which is why the deterministic perf
+gate (``repro perf check``) stays byte-exact while this smoke allows a
+generous 1.5x band: it will not flap on scheduler jitter, but it catches
+the class of regression this repo's fast path exists to prevent -- an
+accidental return to per-event allocation or always-on instrumentation,
+which costs 2-4x (see docs/PERFORMANCE.md).
+
+Usage::
+
+    python tools/check_speedup.py [probe] [--json PATH]
+
+Exit status: 0 when within budget (or no committed trajectory exists to
+compare against), 1 on regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+
+def committed_walls(bench_path: pathlib.Path) -> list[float]:
+    """The committed ``host.trajectory`` wall-clock samples, oldest first."""
+    if not bench_path.exists():
+        return []
+    data = json.loads(bench_path.read_text())
+    traj = data.get("host", {}).get("trajectory", [])
+    return [e["probe_wall_s"] for e in traj if "probe_wall_s" in e]
+
+
+def median(values: list[float]) -> float:
+    """The dashboard's median: middle element of the sorted list."""
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def check(probe: str, results_dir: pathlib.Path) -> dict:
+    """Time ``probe`` once and judge it against the committed trajectory.
+
+    Returns a report dict with ``ok``, the fresh ``wall_s``, the
+    committed ``median_s`` and the allowed ``budget_s``.
+    """
+    from repro.obs.dashboard import REGRESSION_FACTOR
+    from repro.perf.probes import run_probe
+
+    run_probe(probe)  # warm-up: imports, allocator, branch caches
+    t0 = time.perf_counter()
+    run_probe(probe)
+    wall = time.perf_counter() - t0
+
+    walls = committed_walls(results_dir / f"BENCH_{probe}.json")
+    if not walls:
+        return {"probe": probe, "ok": True, "wall_s": wall,
+                "median_s": None, "budget_s": None,
+                "note": "no committed host.trajectory; nothing to compare"}
+    med = median(walls)
+    budget = REGRESSION_FACTOR * med
+    return {"probe": probe, "ok": wall <= budget, "wall_s": wall,
+            "median_s": med, "budget_s": budget,
+            "factor": REGRESSION_FACTOR, "samples": len(walls)}
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns 0 when within budget, 1 on regression."""
+    args = list(argv)
+    json_path = None
+    if "--json" in args:
+        i = args.index("--json")
+        json_path = pathlib.Path(args[i + 1])
+        del args[i:i + 2]
+    probe = args[0] if args else "simcore"
+    report = check(probe, pathlib.Path("results"))
+    if json_path is not None:
+        json_path.write_text(json.dumps(report, indent=2) + "\n")
+    med = report.get("median_s")
+    if med is None:
+        print(f"speedup smoke [{probe}]: {report['wall_s']:.3f}s "
+              f"({report['note']})")
+        return 0
+    verdict = "ok" if report["ok"] else "REGRESSED"
+    print(f"speedup smoke [{probe}]: {verdict} -- {report['wall_s']:.3f}s vs "
+          f"budget {report['budget_s']:.3f}s "
+          f"({report['factor']}x median of {report['samples']} committed runs, "
+          f"median {med:.3f}s)")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
