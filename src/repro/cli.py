@@ -13,6 +13,8 @@ Examples::
     python -m repro run fig3a --jobs 4 --resume
     python -m repro run fig6 --shard 1/4 --out results/
     python -m repro run fig3a --jobs 4 --flaky-workers 0.2 --trial-timeout 30
+    python -m repro top results/          # watch a run from another terminal
+    python -m repro top results/ --once --json
     python -m repro trace fig3a --out trace.json
     python -m repro trace chaos --out chaos.json
     python -m repro analyze fig3a
@@ -40,6 +42,16 @@ each trial's wall clock, dead or wedged workers are respawned and
 their trials retried with exponential backoff up to ``--retries``
 times, and ``--flaky-workers R`` chaos-tests exactly that machinery by
 killing/hanging a seeded fraction of first attempts.
+
+Every ``run --out`` is also **observable while it runs**: a telemetry
+directory (``<out>/telemetry``, or ``--telemetry DIR``) receives an
+append-only structured event log (``events.jsonl``), an atomically
+rewritten heartbeat (``status.json``) with progress/ETA/worker state, a
+Prometheus textfile (``metrics.prom``), and -- on retry exhaustion, a
+crash, or SIGTERM -- a ``postmortem/`` flight-recorder bundle.  ``top``
+renders that heartbeat as a live terminal dashboard from any other
+terminal (``--once`` for one frame, ``--json`` for scripting);
+``--no-telemetry`` turns the whole layer off.
 
 ``trace`` records one representative simulation of the experiment with
 the virtual-time tracer attached and writes Chrome trace-event JSON --
@@ -180,6 +192,26 @@ def _build_parser() -> argparse.ArgumentParser:
                           "--jobs >= 2, output stays byte-identical")
     run.add_argument("--flaky-seed", type=int, default=1, metavar="S",
                      help="seed for --flaky-workers decisions (default 1)")
+    run.add_argument("--telemetry", type=pathlib.Path, default=None,
+                     metavar="DIR",
+                     help="write live telemetry (events.jsonl, status.json, "
+                          "metrics.prom, postmortem bundles) under DIR "
+                          "(default: <out>/telemetry when --out is given)")
+    run.add_argument("--no-telemetry", action="store_true",
+                     help="disable live telemetry even when --out is given")
+
+    top = sub.add_parser(
+        "top", help="live terminal monitor for a running sweep")
+    top.add_argument("run_dir", type=pathlib.Path,
+                     help="the run's telemetry directory, or the --out "
+                          "directory containing one")
+    top.add_argument("--once", action="store_true",
+                     help="print a single frame and exit (CI-friendly)")
+    top.add_argument("--json", action="store_true",
+                     help="print the raw status.json document instead of "
+                          "rendering a frame")
+    top.add_argument("--interval", type=_timeout, default=1.0, metavar="S",
+                     help="refresh interval in seconds (default 1.0)")
 
     trace = sub.add_parser(
         "trace", help="trace one representative run (Perfetto/Chrome JSON)")
@@ -437,7 +469,41 @@ def _cmd_profile(args) -> int:
     return 0
 
 
-def _build_engine(args, experiments):
+def _run_params(args) -> dict:
+    """The sweep-identity params shared by journal and telemetry ids."""
+    params = {"quick": not args.full}
+    if args.drop_rate is not None:
+        params["drop_rate"] = args.drop_rate
+    return params
+
+
+def _build_telemetry(args, experiments):
+    """The live-telemetry session for one ``run``, or None.
+
+    Telemetry is on whenever the run writes artifacts (``--out``) or is
+    pointed somewhere explicitly (``--telemetry DIR``), and off
+    otherwise or under ``--no-telemetry``.  The run id reuses the sweep
+    journal's id (experiments + params + code fingerprint), so event
+    contents are deterministic per sweep and an ``events.jsonl`` can be
+    matched to the journal that ran beside it.
+    """
+    if args.no_telemetry:
+        return None
+    base = args.telemetry
+    if base is None:
+        if args.out is None:
+            return None
+        base = args.out / "telemetry"
+    from repro.engine.journal import journal_id
+    from repro.obs.live import LiveTelemetry
+
+    params = _run_params(args)
+    return LiveTelemetry(base, journal_id(experiments, params),
+                         experiments=experiments, params=params,
+                         jobs=args.jobs)
+
+
+def _build_engine(args, experiments, telemetry=None):
     """The engine a ``run`` invocation executes its trials through.
 
     The cache root is ``$REPRO_TRIAL_CACHE`` when set, else ``.cache``
@@ -445,7 +511,9 @@ def _build_engine(args, experiments):
     ``--no-journal`` disables it, a durable sweep journal under
     ``<cache-root>/journal/`` makes the run crash-safe: ``--resume``
     (and every ``--shard`` run, which is partial by design) reopens it
-    and replays completed trials.
+    and replays completed trials.  ``telemetry`` (a
+    :class:`~repro.obs.live.session.LiveTelemetry` or None) is injected
+    into the engine so every resolution decision emits a run event.
     """
     from repro.engine import Engine, RetryPolicy, SweepJournal, TrialCache
 
@@ -459,11 +527,8 @@ def _build_engine(args, experiments):
             cache_root = base / ".cache"
         cache = TrialCache(cache_root)
         if not args.no_journal:
-            params = {"quick": not args.full}
-            if args.drop_rate is not None:
-                params["drop_rate"] = args.drop_rate
             journal = SweepJournal.open(
-                cache_root / "journal", experiments, params=params,
+                cache_root / "journal", experiments, params=_run_params(args),
                 resume=args.resume or args.shard is not None)
     timeout = args.trial_timeout
     if args.flaky_workers is not None:
@@ -477,7 +542,8 @@ def _build_engine(args, experiments):
                                  hang_s=timeout * 3)
     policy = RetryPolicy(max_retries=args.retries, timeout_s=timeout)
     return Engine(jobs=args.jobs, cache=cache, journal=journal,
-                  policy=policy, faults=faults, shard=args.shard)
+                  policy=policy, faults=faults, shard=args.shard,
+                  telemetry=telemetry)
 
 
 def _emit_engine(engine, out_dir) -> None:
@@ -492,7 +558,8 @@ def _emit_engine(engine, out_dir) -> None:
         (out_dir / "engine.metrics.csv").write_text(engine_csv(engine))
 
 
-def _write_run_manifest(args, engine, experiments, started: float) -> None:
+def _write_run_manifest(args, engine, experiments, started: float,
+                        telemetry=None) -> None:
     """Provenance for one ``run --out`` invocation (see engine.manifest)."""
     import time
 
@@ -518,7 +585,8 @@ def _write_run_manifest(args, engine, experiments, started: float) -> None:
         experiments=experiments,
         params=params,
         engine=engine,
-        wall_s=time.perf_counter() - started)
+        wall_s=time.perf_counter() - started,
+        telemetry=telemetry.summary() if telemetry is not None else None)
     print(f"manifest: {write_manifest(args.out, manifest)}")
 
 
@@ -546,50 +614,74 @@ def _cmd_run(args) -> int:
     sharded = args.shard is not None
     experiments = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
-    engine = _build_engine(args, experiments)
-    with use_engine(engine):
-        try:
-            if args.experiment == "all":
-                for exp_id in EXPERIMENTS:
-                    print(f"--- running {exp_id} ---")
-                    result = run_experiment(exp_id, quick=quick)
-                    if not sharded:
-                        _emit(result, args.out)
-                        if args.metrics_interval is not None:
-                            _emit_metrics(exp_id, args.metrics_interval,
-                                          args.out)
-            elif args.drop_rate is not None:
-                if args.experiment != "chaos":
-                    print("--drop-rate only applies to the 'chaos' experiment",
-                          file=sys.stderr)
-                    return 2
-                from repro.experiments.chaos import run_chaos
+    telemetry = _build_telemetry(args, experiments)
+    engine = _build_engine(args, experiments, telemetry)
+    if telemetry is not None:
+        telemetry.install_sigterm()
+        telemetry.sweep_start()
+    try:
+        with use_engine(engine):
+            try:
+                if args.experiment == "all":
+                    for exp_id in EXPERIMENTS:
+                        print(f"--- running {exp_id} ---")
+                        result = run_experiment(exp_id, quick=quick)
+                        if not sharded:
+                            _emit(result, args.out)
+                            if args.metrics_interval is not None:
+                                _emit_metrics(exp_id, args.metrics_interval,
+                                              args.out)
+                elif args.drop_rate is not None:
+                    if args.experiment != "chaos":
+                        print("--drop-rate only applies to the 'chaos' "
+                              "experiment", file=sys.stderr)
+                        return 2
+                    from repro.experiments.chaos import run_chaos
 
-                result = run_chaos(
-                    quick=quick,
-                    drop_rates=(0.0, args.drop_rate / 2, args.drop_rate))
-            else:
-                result = run_experiment(args.experiment, quick=quick)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
-        except TrialRetryError as exc:
-            print(f"run failed: {exc}", file=sys.stderr)
-            print("completed trials are journaled; fix the fault and rerun "
-                  "with --resume", file=sys.stderr)
-            return 3
-        if args.experiment != "all" and not sharded:
-            _emit(result, args.out)
-            if args.metrics_interval is not None:
-                _emit_metrics(args.experiment, args.metrics_interval,
-                              args.out)
-        if sharded:
-            k, n = args.shard
-            print(f"shard {k}/{n}: artifacts suppressed (journal + cache "
-                  f"updated; merge with a --resume run)")
-        _emit_engine(engine, args.out)
-        if args.out is not None:
-            _write_run_manifest(args, engine, experiments, started)
+                    result = run_chaos(
+                        quick=quick,
+                        drop_rates=(0.0, args.drop_rate / 2, args.drop_rate))
+                else:
+                    result = run_experiment(args.experiment, quick=quick)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                if telemetry is not None:
+                    telemetry.sweep_finish(False)
+                return 2
+            except TrialRetryError as exc:
+                print(f"run failed: {exc}", file=sys.stderr)
+                print("completed trials are journaled; fix the fault and "
+                      "rerun with --resume", file=sys.stderr)
+                if telemetry is not None:
+                    bundle = telemetry.postmortem("retry-exhaustion", exc)
+                    telemetry.sweep_finish(False)
+                    print(f"postmortem: {bundle}", file=sys.stderr)
+                return 3
+            except Exception as exc:
+                if telemetry is not None:
+                    telemetry.postmortem("crash", exc)
+                    telemetry.sweep_finish(False)
+                raise
+            if args.experiment != "all" and not sharded:
+                _emit(result, args.out)
+                if args.metrics_interval is not None:
+                    _emit_metrics(args.experiment, args.metrics_interval,
+                                  args.out)
+            if sharded:
+                k, n = args.shard
+                print(f"shard {k}/{n}: artifacts suppressed (journal + cache "
+                      f"updated; merge with a --resume run)")
+            _emit_engine(engine, args.out)
+            if telemetry is not None:
+                telemetry.sweep_finish(True)
+                print(f"telemetry: {telemetry.dir}")
+            if args.out is not None:
+                _write_run_manifest(args, engine, experiments, started,
+                                    telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.restore_sigterm()
+            telemetry.close()
     return 0
 
 
@@ -611,6 +703,12 @@ def main(argv=None) -> int:
             for key, value in tb.as_row().items():
                 print(f"  {key:<14} {value}")
         return 0
+
+    if args.command == "top":
+        from repro.obs.live.top import run_top
+
+        return run_top(args.run_dir, once=args.once, as_json=args.json,
+                       interval_s=args.interval)
 
     if args.command == "trace":
         return _cmd_trace(args)

@@ -26,6 +26,14 @@ retry/timeout/respawn tallies, per-worker busy time and the derived
 utilization, surfaced through ``repro.obs.enginestats`` and
 ``manifest.json``.
 
+When the CLI injects a live-telemetry session (``telemetry=``, duck-
+typed so this module never imports :mod:`repro.obs.live`), every
+resolution decision additionally narrates itself as a structured run
+event -- cache hit, journal replay, shard skip, dispatch, completion,
+supervision recoveries -- and the supervised pool is handed a monitor
+for its own callbacks.  All hooks run in the parent at engine level:
+the simulation hot loop, and any run without telemetry, is untouched.
+
 The *ambient* engine (:func:`current_engine`) is what the experiment
 runners use when no engine is passed explicitly; it defaults to serial
 uncached execution, and :func:`use_engine` swaps it for a scope (the
@@ -40,7 +48,8 @@ from dataclasses import dataclass, field
 
 from repro.engine.cache import TrialCache
 from repro.engine.pool import run_serial
-from repro.engine.supervise import RetryPolicy, run_supervised
+from repro.engine.supervise import (RetryPolicy, TrialRetryError,
+                                    run_supervised)
 from repro.engine.task import TrialTask
 
 
@@ -120,7 +129,8 @@ class Engine:
 
     def __init__(self, jobs: int = 1, cache: TrialCache | None = None,
                  journal=None, policy: RetryPolicy | None = None,
-                 faults=None, shard: tuple[int, int] | None = None):
+                 faults=None, shard: tuple[int, int] | None = None,
+                 telemetry=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if shard is not None:
@@ -134,12 +144,25 @@ class Engine:
         self.policy = policy
         self.faults = faults
         self.shard = shard
+        #: duck-typed live-telemetry session (the engine never imports
+        #: repro.obs.live -- the CLI constructs and injects it); None
+        #: keeps every hook a single predictable branch
+        self.telemetry = telemetry
         self.counters = EngineCounters()
         #: unique trials planned over this engine's lifetime -- the
         #: deterministic enumeration shards partition
         self._planned = 0
+        if telemetry is not None:
+            telemetry.attach(self)
 
     # ------------------------------------------------------------------
+    def _merge_pool_stats(self, stats) -> None:
+        """Fold one pool run's :class:`PoolStats` into the counters."""
+        self.counters.retries += stats.retries
+        self.counters.timeouts += stats.timeouts
+        self.counters.worker_deaths += stats.worker_deaths
+        self.counters.respawns += stats.respawns
+
     def _owns(self, plan_index: int) -> bool:
         """Whether this shard owns the trial at ``plan_index``."""
         if self.shard is None:
@@ -169,8 +192,11 @@ class Engine:
         self.counters.trials += len(order)
         self.counters.duplicates += len(tasks) - len(order)
 
+        tele = self.telemetry
+        if tele is not None:
+            tele.trial_planned(len(order))
         values: list = [None] * len(order)
-        misses: list[tuple[int, TrialTask, str | None]] = []
+        misses: list[tuple[int, TrialTask, str | None, int]] = []
         for i, task in enumerate(order):
             identity = task.cache_text()
             plan_index = self._planned
@@ -181,6 +207,8 @@ class Engine:
                 if hit:
                     self.counters.resumed += 1
                     values[i] = value
+                    if tele is not None:
+                        tele.trial_resumed(identity, plan_index)
                     continue
             if self.cache is not None:
                 hit, value = self.cache.get(task)
@@ -189,18 +217,26 @@ class Engine:
                     values[i] = value
                     if self.journal is not None and identity is not None:
                         self.journal.record(identity, value)
+                    if tele is not None:
+                        tele.trial_cache_hit(identity, plan_index)
                     continue
             if not self._owns(plan_index):
                 self.counters.shard_skipped += 1
                 values[i] = ShardValue()
+                if tele is not None:
+                    tele.trial_shard_skip(identity, plan_index)
                 continue
-            misses.append((i, task, identity))
+            misses.append((i, task, identity, plan_index))
 
         if misses:
-            miss_tasks = [t for _, t, _ in misses]
+            miss_tasks = [t for _, t, _, _ in misses]
+            monitor = tele.pool_monitor(
+                [(identity, plan_index)
+                 for _, _, identity, plan_index in misses]) \
+                if tele is not None else None
 
             def on_outcome(pos: int, outcome) -> None:
-                i, task, identity = misses[pos]
+                i, task, identity, _ = misses[pos]
                 values[i] = outcome.value
                 self.counters.busy_ns += outcome.busy_ns
                 pid_busy = self.counters.workers.get(outcome.worker_pid, 0)
@@ -215,21 +251,35 @@ class Engine:
                 else:
                     self.counters.cache_misses += 1
                 if self.journal is not None and identity is not None:
-                    self.journal.record(identity, outcome.value)
+                    self.journal.record(identity, outcome.value,
+                                        busy_ns=outcome.busy_ns)
+                if monitor is not None:
+                    monitor.complete(pos, outcome.attempts, outcome.busy_ns)
 
             if self.jobs > 1 and len(miss_tasks) > 1:
-                _, stats = run_supervised(
-                    miss_tasks, self.jobs, policy=self.policy,
-                    faults=self.faults, on_outcome=on_outcome)
-                self.counters.retries += stats.retries
-                self.counters.timeouts += stats.timeouts
-                self.counters.worker_deaths += stats.worker_deaths
-                self.counters.respawns += stats.respawns
+                try:
+                    _, stats = run_supervised(
+                        miss_tasks, self.jobs, policy=self.policy,
+                        faults=self.faults, on_outcome=on_outcome,
+                        monitor=monitor)
+                except TrialRetryError as exc:
+                    # the sweep is lost, but the supervision work that
+                    # did happen must still land in the counters (the
+                    # failure-path sweep.finish reports them)
+                    if exc.stats is not None:
+                        self._merge_pool_stats(exc.stats)
+                    raise
+                self._merge_pool_stats(stats)
             else:
-                run_serial(miss_tasks, on_outcome=on_outcome)
+                run_serial(miss_tasks, on_outcome=on_outcome,
+                           on_start=None if monitor is None
+                           else lambda pos: monitor.dispatch(pos, 1))
 
         if self.cache is not None:
-            self.counters.corrupt += self.cache.corrupt - corrupt_before
+            quarantined = self.cache.corrupt - corrupt_before
+            self.counters.corrupt += quarantined
+            if quarantined and tele is not None:
+                tele.cache_quarantine(quarantined)
         self.counters.wall_ns += time.perf_counter_ns() - started
         return [values[unique[key]] for key in keys]
 

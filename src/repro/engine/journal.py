@@ -7,7 +7,11 @@ with one record per event:
   ``N``-th unique trial planned by this sweep (the enumeration
   ``--shard k/N`` partitions);
 * ``{"t": "done", "k": <identity>, "v": <value>}`` -- trial ``k``
-  completed with ``v``.
+  completed with ``v``.  A done record may carry an optional ``ns``
+  field: the host nanoseconds the computation took.  ``ns`` is pure
+  observability (it feeds the live heartbeat's ETA after a resume) and
+  is never part of the resume decision -- loaders that predate it skip
+  it, and values round-trip identically with or without it.
 
 ``k`` is the task's canonical identity (:meth:`TrialTask.cache_text`);
 the **code fingerprint is folded into the journal's filename**, so a
@@ -64,6 +68,8 @@ class SweepJournal:
         self.completed: dict[str, object] = {}
         #: trial identity -> enumeration index (submission order)
         self.planned: dict[str, int] = {}
+        #: host nanoseconds of recorded computations (ETA seed on resume)
+        self.costs_ns: list[int] = []
         self.appends = 0
         self._lock = FileLock(self.path.parent / (self.path.name + ".lock"))
 
@@ -113,6 +119,9 @@ class SweepJournal:
             if kind == "plan":
                 self.planned.setdefault(key, len(self.planned))
             elif kind == "done" and "v" in record:
+                if key not in self.completed and \
+                        isinstance(record.get("ns"), int):
+                    self.costs_ns.append(record["ns"])
                 self.completed.setdefault(key, record["v"])
             parsed += 1
         return parsed
@@ -127,12 +136,21 @@ class SweepJournal:
         self._append({"t": "plan", "i": index, "k": key})
         return index
 
-    def record(self, key: str, value) -> None:
-        """Durably record ``key``'s completed ``value`` (idempotent)."""
+    def record(self, key: str, value, busy_ns: int | None = None) -> None:
+        """Durably record ``key``'s completed ``value`` (idempotent).
+
+        ``busy_ns`` -- host nanoseconds the computation took -- is
+        stored as the record's ``ns`` field when known, so a resumed
+        sweep can estimate remaining time from real costs.
+        """
         if key in self.completed:
             return
         self.completed[key] = value
-        self._append({"t": "done", "k": key, "v": value})
+        record: dict = {"t": "done", "k": key, "v": value}
+        if busy_ns is not None:
+            record["ns"] = int(busy_ns)
+            self.costs_ns.append(int(busy_ns))
+        self._append(record)
 
     def lookup(self, key: str) -> tuple[bool, object]:
         """``(hit, value)`` for a previously recorded trial."""

@@ -21,6 +21,14 @@ answers all three.  Every ``repro run ... --out`` (and ``repro profile
   on; under a seeded :class:`~repro.faults.workers.WorkerFaultPlan`
   even the retry/timeout counts are deterministic.
 
+Since schema 3, a run with live telemetry enabled also records a
+``telemetry`` block: the event-log tally by kind, the total event
+count, the telemetry directory name and the postmortem bundle name (if
+one was dumped).  Event *counts* are deterministic for a seeded sweep
+(events carry host timestamps, but how many of each kind happened is a
+function of the plan and the fault seed), so the block participates in
+the same serial-equals-parallel totals property as the counters.
+
 Documents are written with sorted keys and a trailing newline; the
 ``host`` block (wall time, python, busy lists) is informational, while
 the rest is deterministic given the tree and CLI invocation.
@@ -33,7 +41,7 @@ import pathlib
 import platform
 
 #: bump when the manifest layout changes
-MANIFEST_SCHEMA = 2
+MANIFEST_SCHEMA = 3
 
 #: filename written next to artifacts
 MANIFEST_NAME = "manifest.json"
@@ -74,13 +82,17 @@ def engine_provenance(engine) -> dict:
 
 
 def build_manifest(*, command, experiments, params=None, engine=None,
-                   wall_s: float | None = None, seed: int | None = None) -> dict:
+                   wall_s: float | None = None, seed: int | None = None,
+                   telemetry: dict | None = None) -> dict:
     """Assemble one provenance document (pass to :func:`write_manifest`).
 
     ``command`` is the argv-style invocation, ``experiments`` the ids
     that ran, ``params`` a flat dict of run parameters, ``engine`` the
     :class:`~repro.engine.engine.Engine` the trials went through (or
-    None for engine-less surfaces like ``repro profile``).
+    None for engine-less surfaces like ``repro profile``);
+    ``telemetry`` is the live session's summary block
+    (:meth:`repro.obs.live.session.LiveTelemetry.summary`) when the run
+    had telemetry enabled.
     """
     from repro.engine.fingerprint import core_fingerprint
 
@@ -98,6 +110,8 @@ def build_manifest(*, command, experiments, params=None, engine=None,
         doc["engine"] = engine_provenance(engine)
     if wall_s is not None:
         doc["wall_s"] = round(wall_s, 3)
+    if telemetry is not None:
+        doc["telemetry"] = telemetry
     return doc
 
 

@@ -35,16 +35,21 @@ class TaskOutcome:
     attempts: int = 1  #: executions it took (> 1 after supervision retries)
 
 
-def run_serial(tasks: list[TrialTask], on_outcome=None) -> list[TaskOutcome]:
+def run_serial(tasks: list[TrialTask], on_outcome=None,
+               on_start=None) -> list[TaskOutcome]:
     """Execute every task in this process, in order.
 
     ``on_outcome(index, outcome)`` fires after each task so callers can
     persist results incrementally (the same streaming contract the
-    supervised pool offers).
+    supervised pool offers); ``on_start(index)`` fires just before a
+    task runs, mirroring the supervised pool's dispatch notification so
+    telemetry sees the same event sequence either way.
     """
     outcomes = []
     pid = os.getpid()
     for index, task in enumerate(tasks):
+        if on_start is not None:
+            on_start(index)
         start = time.perf_counter_ns()
         value = task.run()
         outcome = TaskOutcome(value, pid, time.perf_counter_ns() - start)

@@ -90,7 +90,13 @@ class PoolStats:
 
 
 class TrialRetryError(RuntimeError):
-    """A trial failed on every attempt its retry budget allowed."""
+    """A trial failed on every attempt its retry budget allowed.
+
+    Carries the pool's :class:`PoolStats` as ``stats`` (when raised by
+    the supervisor), so the engine can fold the supervision work that
+    *did* happen into its counters even though the run failed --
+    keeping the failure-path ``sweep.finish`` event honest.
+    """
 
     def __init__(self, index: int, attempts: int, reason: str):
         super().__init__(
@@ -98,6 +104,7 @@ class TrialRetryError(RuntimeError):
         self.index = index
         self.attempts = attempts
         self.reason = reason
+        self.stats: PoolStats | None = None
 
 
 @dataclass
@@ -109,6 +116,7 @@ class _Worker:
     index: int | None = None    #: task currently assigned (None: idle)
     attempt: int = 0
     deadline: float | None = None
+    started: float | None = None  #: monotonic instant the assignment began
     sent: int = field(default=0)  #: tasks handed to this process
 
 
@@ -151,7 +159,8 @@ def _worker_main(conn, path_entries, faults) -> None:
 class _Supervisor:
     """One supervised execution of a task list (see :func:`run_supervised`)."""
 
-    def __init__(self, tasks, jobs, policy, faults, on_outcome):
+    def __init__(self, tasks, jobs, policy, faults, on_outcome,
+                 monitor=None):
         from repro.engine.pool import TaskOutcome
 
         self._outcome_cls = TaskOutcome
@@ -159,6 +168,7 @@ class _Supervisor:
         self.policy = policy
         self.faults = faults
         self.on_outcome = on_outcome
+        self.monitor = monitor
         self.stats = PoolStats()
         self.outcomes: list = [None] * len(tasks)
         self.done = 0
@@ -195,18 +205,25 @@ class _Supervisor:
             _, attempt, index = heapq.heappop(self.pending)
             worker.index, worker.attempt = index, attempt
             worker.sent += 1
+            worker.started = now
             timeout = self.policy.timeout_s
             worker.deadline = None if timeout is None else now + timeout
             try:
                 worker.conn.send((index, self.tasks[index], attempt))
             except (OSError, ValueError):
-                pass            # already dead: _reap requeues the task
+                continue        # already dead: _reap requeues the task
+            if self.monitor is not None:
+                self.monitor.dispatch(index, attempt, worker.proc.pid)
 
     def _retry(self, index: int, attempt: int, reason: str) -> None:
         """Requeue a failed task with backoff, or give up loudly."""
         if attempt > self.policy.max_retries:
-            raise TrialRetryError(index, attempt, reason)
+            error = TrialRetryError(index, attempt, reason)
+            error.stats = self.stats
+            raise error
         self.stats.retries += 1
+        if self.monitor is not None:
+            self.monitor.retry(index, attempt, reason)
         ready = time.monotonic() + self.policy.backoff_for(attempt)
         heapq.heappush(self.pending, (ready, attempt + 1, index))
 
@@ -230,7 +247,8 @@ class _Supervisor:
                 continue        # worker died mid-send: _reap recovers it
             kind, pid = message[0], message[1]
             if worker.index == message[2]:
-                worker.index, worker.deadline = None, None
+                worker.index, worker.deadline, worker.started = \
+                    None, None, None
             if kind == "done":
                 _, _, index, attempt, value, busy_ns = message
                 self._complete(index, attempt, value, busy_ns, pid)
@@ -248,16 +266,23 @@ class _Supervisor:
             overdue = (worker.deadline is not None and now > worker.deadline)
             if not dead and not overdue:
                 continue
+            pid = worker.proc.pid
             if overdue and not dead:
                 self.stats.timeouts += 1
+                if self.monitor is not None:
+                    self.monitor.timeout(worker.index, pid)
                 worker.proc.kill()
                 worker.proc.join(timeout=5)
             else:
                 self.stats.worker_deaths += 1
+                if self.monitor is not None:
+                    self.monitor.worker_death(worker.index, pid)
             index, attempt = worker.index, worker.attempt
             self._close(worker)
             self.workers[slot] = self._spawn()
             self.stats.respawns += 1
+            if self.monitor is not None:
+                self.monitor.worker_respawn(self.workers[slot].proc.pid)
             if index is not None and self.outcomes[index] is None:
                 reason = "timeout" if overdue and not dead else "worker died"
                 self._retry(index, attempt, reason)
@@ -276,6 +301,8 @@ class _Supervisor:
                 self._assign()
                 self._drain()
                 self._reap()
+                if self.monitor is not None:
+                    self.monitor.tick(self.workers)
         finally:
             for worker in self.workers:
                 try:
@@ -290,16 +317,23 @@ class _Supervisor:
 
 def run_supervised(tasks: list[TrialTask], jobs: int,
                    policy: RetryPolicy | None = None, faults=None,
-                   on_outcome=None) -> tuple[list, PoolStats]:
+                   on_outcome=None, monitor=None) -> tuple[list, PoolStats]:
     """Execute ``tasks`` on a supervised ``jobs``-wide pool.
 
     Returns ``(outcomes, stats)`` with outcomes in submission order.
     ``on_outcome(index, outcome)`` fires in the parent as each trial
     completes (out of order); ``faults`` is an optional
     :class:`~repro.faults.workers.WorkerFaultPlan` applied inside the
-    workers.  Raises :class:`TrialRetryError` when any trial exhausts
-    the policy's retry budget.
+    workers.  ``monitor`` is an optional telemetry adapter (duck-typed
+    like :class:`repro.obs.live.session.PoolMonitor`): it receives
+    ``dispatch`` / ``retry`` / ``timeout`` / ``worker_death`` /
+    ``worker_respawn`` callbacks as supervision acts, plus a ``tick``
+    per loop iteration with the live worker handles -- all in the
+    parent process, entirely off the workers' execution path.  Raises
+    :class:`TrialRetryError` when any trial exhausts the policy's
+    retry budget.
     """
     policy = policy if policy is not None else RetryPolicy()
-    supervisor = _Supervisor(tasks, jobs, policy, faults, on_outcome)
+    supervisor = _Supervisor(tasks, jobs, policy, faults, on_outcome,
+                             monitor=monitor)
     return supervisor.run(), supervisor.stats

@@ -6,7 +6,10 @@ status (from :mod:`repro.perf.check`), host-section wall-clock
 trajectories rendered as inline SVG sparklines, and regression
 highlighting -- a trajectory whose latest point runs well past its own
 median gets flagged, and any deterministic drift is listed metric by
-metric.  CI builds the page on every run and uploads it as a workflow
+metric.  A family with *no* ``host.trajectory`` section renders as
+``missing`` (go record one), distinctly from one whose section exists
+but is empty of numeric points (``empty`` -- a recording bug); see
+:func:`trajectory_state`.  CI builds the page on every run and uploads it as a workflow
 artifact, so the repo's perf story is one click, not twelve JSON files.
 
 The page embeds no scripts and no external assets; sparklines come from
@@ -66,6 +69,27 @@ def trajectory_series(host: dict) -> dict[str, list[float]]:
     return dict(sorted(series.items()))
 
 
+def trajectory_state(host: dict) -> str:
+    """How a baseline's ``host.trajectory`` section should be labelled.
+
+    Three distinct answers, because they call for different operator
+    action: ``"missing"`` -- the section does not exist (the benchmarks
+    never recorded one for this family; run them); ``"empty"`` -- the
+    section exists but holds no numeric entries (a recording bug worth
+    investigating); ``"ok"`` -- there is at least one numeric point.
+    The dashboard must never render missing and empty identically:
+    that conflation is exactly how absent recordings hide.
+    """
+    if not isinstance(host, dict) or "trajectory" not in host:
+        return "missing"
+    for entry in host.get("trajectory") or []:
+        if isinstance(entry, dict) and any(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in entry.values()):
+            return "ok"
+    return "empty"
+
+
 def regressed(values: list[float],
               factor: float = REGRESSION_FACTOR) -> bool:
     """Whether a trajectory's newest point sticks out above its history.
@@ -92,11 +116,18 @@ def _status_cell(status: str) -> str:
     return f'<span class="status {status}">{status}</span>'
 
 
-def _spark_cells(series: dict[str, list[float]]) -> str:
+def _spark_cells(series: dict[str, list[float]],
+                 state: str = "ok") -> str:
     from repro.util.svg import render_sparkline
 
     if not series:
-        return '<span class="muted">no host data</span>'
+        if state == "missing":
+            return ('<span class="status missing">missing</span> '
+                    '<span class="muted">no host.trajectory recorded; '
+                    'run the benchmarks to start one</span>')
+        return ('<span class="status empty">empty</span> '
+                '<span class="muted">host.trajectory has no numeric '
+                'entries</span>')
     parts = []
     for key, values in series.items():
         flag = regressed(values)
@@ -129,7 +160,8 @@ def build_dashboard(results_dir, report=None) -> str:
         fam = by_name.get(name)
         status = fam["status"] if fam else "unchecked"
         deltas = fam["deltas"] if fam else []
-        series = trajectory_series(bench.get("host", {}))
+        host = bench.get("host", {})
+        series = trajectory_series(host)
         delta_cell = (f"{len(deltas)} drifted" if deltas
                       else ("&mdash;" if fam else ""))
         rows.append(
@@ -137,7 +169,7 @@ def build_dashboard(results_dir, report=None) -> str:
             f"<td>{_status_cell(status)}</td>"
             f"<td>{len(bench.get('deterministic', {}))}</td>"
             f"<td>{delta_cell}</td>"
-            f"<td>{_spark_cells(series)}</td></tr>")
+            f"<td>{_spark_cells(series, trajectory_state(host))}</td></tr>")
 
     drift_rows = []
     for fam in (doc["families"] if doc else []):

@@ -1,0 +1,163 @@
+"""The structured run-event log: ``events.jsonl`` and its schema.
+
+Every supervised sweep narrates itself into an append-only JSONL file:
+one record per engine-level event (sweep start/finish, trial dispatch /
+complete / cache-hit / resume-replay, retry / timeout, worker death /
+respawn, cache quarantine, postmortem).  Records carry three causality
+keys -- a monotonic ``seq``, the sweep's ``run`` id, and the trial
+fingerprint ``k`` (a sha256 prefix of the task's canonical identity, so
+an event can be joined against the trial cache and sweep journal) --
+which is what lets ``repro top``, the postmortem bundle and external
+scrapers reconstruct *what happened in which order* without any
+protocol beyond "read the file".
+
+Determinism discipline: the *contents* of every record are a pure
+function of the sweep (seeded faults included) -- only the fields named
+in :data:`HOST_FIELDS` (wall-clock timestamp, host pid, host
+nanoseconds) vary between same-seed runs, and :func:`canonical_line`
+strips exactly those so tests and the schema linter can compare event
+streams byte-for-byte.  Under ``--jobs N`` completion *order* is host
+scheduling, so cross-run comparisons are per-line-set rather than
+per-file; a serial run's file is byte-identical after stripping.
+
+The writer is single-process by design (only the sweep's parent emits;
+workers report through their pipes), so appends need no lock: each line
+is written and flushed whole, and the reader tolerates a torn final
+line exactly like the sweep journal does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import time
+from collections import deque
+
+#: bump when the record layout changes (checked by tools/lint_events.py)
+EVENTS_SCHEMA = 1
+
+#: the filename every telemetry directory uses for the event log
+EVENTS_NAME = "events.jsonl"
+
+#: every event kind the engine layer emits
+EVENT_KINDS = frozenset({
+    "sweep.start",        #: one sweep began (experiments, params, jobs)
+    "sweep.finish",       #: the sweep ended (ok flag + deterministic counters)
+    "trial.dispatch",     #: a trial was handed to a worker (or run inline)
+    "trial.complete",     #: a trial's value arrived and was persisted
+    "trial.cache_hit",    #: a trial was answered from the trial cache
+    "trial.resume",       #: a trial was replayed from the sweep journal
+    "trial.shard_skip",   #: a trial owned by another shard was skipped
+    "trial.retry",        #: a failed trial was requeued with backoff
+    "trial.timeout",      #: a worker was killed for exceeding the trial budget
+    "worker.death",       #: a worker process was found dead mid-trial or idle
+    "worker.respawn",     #: a replacement worker was started
+    "cache.quarantine",   #: corrupt cache entries were moved to *.bad
+    "postmortem",         #: a flight-recorder bundle was dumped
+})
+
+#: record fields that legitimately vary between same-seed runs
+HOST_FIELDS = frozenset({"ts", "pid", "ns"})
+
+
+def trial_digest(identity: str | None, plan_index: int) -> str:
+    """The event log's trial fingerprint for one planned trial.
+
+    A sha256 prefix of the task's canonical identity (the same string
+    the cache and journal key on), so events join against both; tasks
+    with uncacheable params get a positional stand-in instead.
+    """
+    if identity is None:
+        return f"opaque:{plan_index}"
+    return hashlib.sha256(identity.encode()).hexdigest()[:12]
+
+
+def canonical_line(record: dict) -> str:
+    """One record minus its host-varying fields, as sorted-key JSON.
+
+    This is the byte-comparison form of an event: two same-seed serial
+    sweeps produce identical canonical lines in identical order, and
+    parallel sweeps produce the same multiset of lines.
+    """
+    return json.dumps({k: v for k, v in record.items()
+                       if k not in HOST_FIELDS}, sort_keys=True)
+
+
+def read_events(path) -> list[dict]:
+    """Load every parseable record of an ``events.jsonl`` file.
+
+    A torn final line (crash mid-append) is skipped silently, matching
+    the journal loader's contract; any other unparseable line is
+    skipped too -- the event log must never make a postmortem worse.
+    """
+    try:
+        text = pathlib.Path(path).read_text()
+    except OSError:
+        return []
+    records = []
+    for line in text.splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+class RunEventLog:
+    """Append-only writer for one sweep's ``events.jsonl``.
+
+    Keeps three live views alongside the file: the monotonic ``seq``
+    counter, per-kind tallies (``counts`` -- the manifest's telemetry
+    summary), and a bounded ring of the most recent records (the flight
+    recorder's memory).  The file handle stays open between appends and
+    every line is flushed whole, so a ``kill -9`` loses at most the
+    in-flight line.
+
+    Opening truncates any previous log: one file holds exactly one
+    session's stream (``seq`` contiguous from 0), so rerunning into the
+    same ``--out`` -- the normal ``--resume`` workflow -- starts fresh
+    instead of interleaving two runs.  The durable history lives in the
+    sweep journal; the event log is this run's narration.
+    """
+
+    def __init__(self, path, run_id: str, ring_size: int = 256):
+        self.path = pathlib.Path(path)
+        self.run_id = run_id
+        self.seq = 0
+        self.counts: dict[str, int] = {}
+        self.ring: deque = deque(maxlen=max(1, ring_size))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w")
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one event record; returns the record as written.
+
+        ``fields`` must be JSON-able; deterministic fields go at the
+        top level, host-varying ones only under the :data:`HOST_FIELDS`
+        names.  The wall-clock ``ts`` is stamped here.
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r} "
+                             f"(known: {', '.join(sorted(EVENT_KINDS))})")
+        record = {"schema": EVENTS_SCHEMA, "seq": self.seq,
+                  "run": self.run_id, "kind": kind,
+                  "ts": round(time.time(), 6), **fields}
+        self.seq += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.ring.append(record)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        return record
+
+    @property
+    def total(self) -> int:
+        """How many events have been emitted so far."""
+        return self.seq
+
+    def close(self) -> None:
+        """Flush and close the underlying file handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()

@@ -1,0 +1,351 @@
+"""`LiveTelemetry`: the one object the engine narrates a sweep through.
+
+The engine and the supervised pool know nothing about files, cadences
+or schemas -- they call duck-typed hooks on whatever ``telemetry``
+object the CLI handed them (or on ``None``, which costs one branch).
+This module is that object.  One :class:`LiveTelemetry` session owns a
+telemetry directory and fans each hook out to the three surfaces:
+
+* every hook appends a record to the run-event log
+  (:mod:`~repro.obs.live.events`);
+* progress/worker bookkeeping feeds the atomic heartbeat
+  (:mod:`~repro.obs.live.status`) and its Prometheus mirror
+  (:mod:`~repro.obs.live.prom`), rewritten on a cadence;
+* the event ring backs the flight recorder
+  (:mod:`~repro.obs.live.recorder`), dumped on retry exhaustion,
+  supervisor crash, or SIGTERM.
+
+Layering: the session lives at engine level, *above* the simulation --
+no telemetry code runs inside the simcore loop, so the PR-8 fast path
+is untouched, and a run without ``--out`` (or with ``--no-telemetry``)
+constructs no session at all.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import time
+
+from repro.obs.live.events import EVENTS_NAME, RunEventLog, trial_digest
+from repro.obs.live.prom import PROM_NAME, render_prom
+from repro.obs.live.recorder import FlightRecorder
+from repro.obs.live.status import STATUS_NAME, StatusWriter, eta_seconds
+from repro.util.atomicio import atomic_write_text
+
+#: engine counters whose values are pure functions of the seeded sweep
+DETERMINISTIC_COUNTERS = (
+    "trials", "duplicates", "cache_hits", "cache_misses", "uncacheable",
+    "resumed", "shard_skipped", "retries", "timeouts", "worker_deaths",
+    "respawns", "corrupt",
+)
+
+#: ring records replayed into the heartbeat's ``recent`` list
+RECENT_EVENTS = 8
+
+
+def deterministic_counters(counters) -> dict:
+    """The host-free subset of :class:`~repro.engine.engine.EngineCounters`.
+
+    This is what the ``sweep.finish`` event carries: every field here
+    must be identical between a serial run, a ``--jobs N`` run and a
+    seeded chaos run of the same sweep.
+    """
+    row = counters.as_row()
+    return {name: row[name] for name in DETERMINISTIC_COUNTERS}
+
+
+class PoolMonitor:
+    """Supervised-pool callbacks bound to one telemetry session.
+
+    The supervisor reports in its own task indexes; the monitor owns
+    the index-to-fingerprint mapping for the batch (built from the
+    engine's ``(identity, plan_index)`` pairs), so supervise.py stays
+    ignorant of trial identities.
+    """
+
+    def __init__(self, session: "LiveTelemetry", keys):
+        self.session = session
+        self.digests = [trial_digest(identity, plan_index)
+                        for identity, plan_index in keys]
+
+    def dispatch(self, index: int, attempt: int,
+                 pid: int | None = None) -> None:
+        """A task was handed to a worker (or is about to run inline)."""
+        self.session.trial_dispatch(self.digests[index], attempt, pid=pid)
+
+    def complete(self, index: int, attempt: int, busy_ns: int) -> None:
+        """A task's value arrived (called from the engine's outcome)."""
+        self.session.trial_complete(self.digests[index], attempt, busy_ns)
+
+    def retry(self, index: int, attempt: int, reason: str) -> None:
+        """A failed task was requeued with backoff."""
+        self.session.trial_retry(self.digests[index], attempt, reason)
+
+    def timeout(self, index: int | None, pid: int) -> None:
+        """A worker was killed for exceeding the trial budget."""
+        digest = self.digests[index] if index is not None else None
+        self.session.trial_timeout(digest, pid=pid)
+
+    def worker_death(self, index: int | None, pid: int) -> None:
+        """A worker process was found dead."""
+        digest = self.digests[index] if index is not None else None
+        self.session.worker_death(digest, pid=pid)
+
+    def worker_respawn(self, pid: int) -> None:
+        """A replacement worker was started."""
+        self.session.worker_respawn(pid=pid)
+
+    def tick(self, workers) -> None:
+        """One supervisor loop iteration: refresh the worker table."""
+        self.session.pool_tick(workers, self.digests)
+
+
+class LiveTelemetry:
+    """One sweep's live telemetry session (see module docs).
+
+    ``run_id`` should be deterministic for the sweep (the CLI reuses
+    the sweep-journal id), so event *contents* are reproducible; host
+    identity lives in the heartbeat's ``pid``/``ts`` fields instead.
+    """
+
+    def __init__(self, out_dir, run_id: str, experiments=(), params=None,
+                 jobs: int = 1, ring_size: int = 256,
+                 heartbeat_s: float = 0.25):
+        self.dir = pathlib.Path(out_dir)
+        self.run_id = run_id
+        self.experiments = sorted(str(e) for e in experiments)
+        self.params = dict(params or {})
+        self.jobs = jobs
+        self.log = RunEventLog(self.dir / EVENTS_NAME, run_id,
+                               ring_size=ring_size)
+        self.status = StatusWriter(self.dir / STATUS_NAME,
+                                   min_interval_s=heartbeat_s)
+        self.recorder = FlightRecorder(self.log, snapshot=self.snapshot)
+        self.engine = None
+        self.state = "running"
+        self.planned = 0
+        self.done = 0
+        self.costs_ns: list[int] = []
+        self.postmortems: list = []
+        self._workers: list[dict] = []
+        self._started = time.monotonic()
+        self._previous_sigterm = None
+        self._owner_pid = os.getpid()
+
+    # -- wiring ---------------------------------------------------------
+    def attach(self, engine) -> None:
+        """Bind the engine whose counters/journal the heartbeat reads."""
+        self.engine = engine
+        self.jobs = engine.jobs
+        journal = getattr(engine, "journal", None)
+        if journal is not None:
+            self.recorder.journal_path = journal.path
+            self.costs_ns.extend(journal.costs_ns)
+
+    def pool_monitor(self, keys) -> PoolMonitor:
+        """Callbacks for one pool run over ``(identity, plan_index)``s."""
+        return PoolMonitor(self, keys)
+
+    # -- sweep lifecycle ------------------------------------------------
+    def sweep_start(self) -> None:
+        """The sweep began: first event, first heartbeat."""
+        self.log.emit("sweep.start", experiments=self.experiments,
+                      params=self.params, jobs=self.jobs)
+        self.heartbeat(force=True)
+
+    def sweep_finish(self, ok: bool) -> None:
+        """The sweep ended; writes the final heartbeat and event."""
+        fields = {"ok": ok}
+        if self.engine is not None:
+            fields["counters"] = deterministic_counters(self.engine.counters)
+        self.log.emit("sweep.finish", **fields)
+        if self.state == "running":
+            self.state = "finished" if ok else "failed"
+        self.heartbeat(force=True)
+
+    def close(self) -> None:
+        """Release the event-log file handle (idempotent)."""
+        self.log.close()
+
+    # -- engine hooks ---------------------------------------------------
+    def trial_planned(self, n: int) -> None:
+        """``n`` more unique trials entered the sweep's plan."""
+        self.planned += n
+
+    def trial_cache_hit(self, identity: str | None, plan_index: int) -> None:
+        """A trial was answered from the content-addressed cache."""
+        self.done += 1
+        self.log.emit("trial.cache_hit", k=trial_digest(identity, plan_index))
+        self.heartbeat()
+
+    def trial_resumed(self, identity: str | None, plan_index: int) -> None:
+        """A trial was replayed from the sweep journal."""
+        self.done += 1
+        self.log.emit("trial.resume", k=trial_digest(identity, plan_index))
+        self.heartbeat()
+
+    def trial_shard_skip(self, identity: str | None, plan_index: int) -> None:
+        """A trial owned by another shard was skipped."""
+        self.done += 1
+        self.log.emit("trial.shard_skip",
+                      k=trial_digest(identity, plan_index))
+        self.heartbeat()
+
+    def trial_dispatch(self, digest: str, attempt: int,
+                       pid: int | None = None) -> None:
+        """A trial was handed to a worker (or is about to run inline)."""
+        fields = {"k": digest, "attempt": attempt}
+        if pid is not None:
+            fields["pid"] = pid
+        self.log.emit("trial.dispatch", **fields)
+
+    def trial_complete(self, digest: str, attempt: int,
+                       busy_ns: int) -> None:
+        """A trial's value arrived and was persisted."""
+        self.done += 1
+        self.costs_ns.append(busy_ns)
+        self.log.emit("trial.complete", k=digest, attempt=attempt,
+                      ns=busy_ns)
+        self.heartbeat()
+
+    def trial_retry(self, digest: str, attempt: int, reason: str) -> None:
+        """A failed trial was requeued with backoff."""
+        self.log.emit("trial.retry", k=digest, attempt=attempt,
+                      reason=reason)
+
+    def trial_timeout(self, digest: str | None,
+                      pid: int | None = None) -> None:
+        """A worker exceeded the per-trial wall-clock budget."""
+        fields = {"k": digest}
+        if pid is not None:
+            fields["pid"] = pid
+        self.log.emit("trial.timeout", **fields)
+
+    def worker_death(self, digest: str | None,
+                     pid: int | None = None) -> None:
+        """A worker process died (mid-trial when ``digest`` is set)."""
+        fields = {"k": digest}
+        if pid is not None:
+            fields["pid"] = pid
+        self.log.emit("worker.death", **fields)
+
+    def worker_respawn(self, pid: int | None = None) -> None:
+        """A replacement worker joined the pool."""
+        fields = {"pid": pid} if pid is not None else {}
+        self.log.emit("worker.respawn", **fields)
+
+    def cache_quarantine(self, entries: int) -> None:
+        """Corrupt cache entries were quarantined to ``*.bad``."""
+        self.log.emit("cache.quarantine", entries=entries)
+
+    # -- heartbeat ------------------------------------------------------
+    def pool_tick(self, workers, digests: list[str]) -> None:
+        """Refresh the per-worker table from the supervisor's handles."""
+        now = time.monotonic()
+        table = []
+        for slot, worker in enumerate(workers):
+            busy = worker.index is not None
+            started = getattr(worker, "started", None)
+            table.append({
+                "slot": slot,
+                "pid": worker.proc.pid,
+                "trial": digests[worker.index] if busy else None,
+                "attempt": worker.attempt if busy else 0,
+                "busy_s": round(now - started, 3)
+                if busy and started is not None else 0.0,
+                "sent": worker.sent,
+            })
+        self._workers = table
+        self.heartbeat()
+
+    def snapshot(self) -> dict:
+        """The heartbeat document body (everything but ts/pid/schema)."""
+        progress = {"planned": self.planned, "done": self.done}
+        counters: dict = {}
+        if self.engine is not None:
+            from repro.obs.enginestats import engine_row
+
+            counters = engine_row(self.engine)
+            progress["computed"] = (counters["cache_misses"]
+                                    + counters["uncacheable"])
+            progress["cache_hits"] = counters["cache_hits"]
+            progress["resumed"] = counters["resumed"]
+            progress["shard_skipped"] = counters["shard_skipped"]
+        if self.planned:
+            progress["pct"] = round(100.0 * self.done / self.planned, 1)
+        return {
+            "run": self.run_id,
+            "state": self.state,
+            "experiments": self.experiments,
+            "jobs": self.jobs,
+            "elapsed_s": round(time.monotonic() - self._started, 3),
+            "progress": progress,
+            "eta_s": eta_seconds(self.planned - self.done, self.costs_ns,
+                                 self.jobs),
+            "workers": self._workers,
+            "counters": counters,
+            "events": {"total": self.log.total,
+                       "by_kind": dict(sorted(self.log.counts.items()))},
+            "recent": list(self.log.ring)[-RECENT_EVENTS:],
+            "postmortem": self.postmortems[-1].name
+            if self.postmortems else None,
+        }
+
+    def heartbeat(self, force: bool = False) -> None:
+        """Rewrite ``status.json`` + ``metrics.prom`` (rate-limited)."""
+        snapshot = self.snapshot()
+        if self.status.write(snapshot, force=force):
+            atomic_write_text(self.dir / PROM_NAME, render_prom(snapshot))
+
+    # -- failure paths --------------------------------------------------
+    def postmortem(self, reason: str, exc: BaseException | None = None):
+        """Dump a flight-recorder bundle; returns its path."""
+        bundle = self.recorder.dump(self.dir, reason, exc)
+        self.postmortems.append(bundle)
+        self.log.emit("postmortem", reason=reason, bundle=bundle.name)
+        self.state = "killed" if reason == "sigterm" else "failed"
+        self.heartbeat(force=True)
+        return bundle
+
+    def handle_sigterm(self, signum=None, frame=None) -> None:
+        """SIGTERM: dump the flight recorder, then exit 143.
+
+        Forked pool workers inherit this handler (and the open file
+        handles behind it); when ``timeout``/``kill`` signals the whole
+        process group, only the installing process may narrate -- a
+        worker restores the default disposition and dies quietly, or
+        the parent's files get several interleaved postmortems.
+        """
+        if os.getpid() != self._owner_pid:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            os.kill(os.getpid(), signal.SIGTERM)
+            return
+        self.postmortem("sigterm")
+        raise SystemExit(128 + signal.SIGTERM)
+
+    def install_sigterm(self) -> None:
+        """Route SIGTERM through :meth:`handle_sigterm` for this sweep."""
+        try:
+            self._previous_sigterm = signal.getsignal(signal.SIGTERM)
+            signal.signal(signal.SIGTERM, self.handle_sigterm)
+        except ValueError:  # pragma: no cover - not the main thread
+            self._previous_sigterm = None
+
+    def restore_sigterm(self) -> None:
+        """Put the previous SIGTERM disposition back."""
+        if self._previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, self._previous_sigterm)
+            self._previous_sigterm = None
+
+    # -- provenance -----------------------------------------------------
+    def summary(self) -> dict:
+        """The manifest's telemetry block (event counts, postmortem)."""
+        return {
+            "dir": self.dir.name,
+            "events_total": self.log.total,
+            "events": dict(sorted(self.log.counts.items())),
+            "postmortem": self.postmortems[-1].name
+            if self.postmortems else None,
+        }

@@ -4,6 +4,7 @@ from repro.engine import (Engine, build_manifest, engine_provenance,
                           load_manifest, use_engine, write_manifest)
 from repro.engine.fingerprint import core_fingerprint
 from repro.engine.manifest import MANIFEST_SCHEMA
+from repro.obs.live import LiveTelemetry
 
 
 def run_small_exhibit():
@@ -64,3 +65,37 @@ def test_parallel_counters_merge_to_serial_totals():
         return block
 
     assert deterministic(parallel) == deterministic(serial)
+
+
+def test_manifest_schema_3_records_telemetry_block():
+    doc = build_manifest(command=["x"], experiments=["e"],
+                         telemetry={"dir": "telemetry", "events_total": 4,
+                                    "events": {"sweep.start": 1},
+                                    "postmortem": None})
+    assert doc["schema"] == MANIFEST_SCHEMA == 3
+    assert doc["telemetry"]["events_total"] == 4
+    assert "telemetry" not in build_manifest(command=["x"], experiments=["e"])
+
+
+def _telemetry_run(tmp_path, name, jobs):
+    tele = LiveTelemetry(tmp_path / name, "run1", experiments=["table2"],
+                         jobs=jobs, heartbeat_s=0.0)
+    engine = Engine(jobs=jobs, telemetry=tele)
+    with use_engine(engine):
+        run_small_exhibit()
+    tele.sweep_finish(True)
+    tele.close()
+    return tele.summary()
+
+
+def test_parallel_telemetry_summary_equals_serial(tmp_path):
+    # the satellite criterion: a --jobs N manifest's telemetry block
+    # (event counts by kind) equals the serial run's
+    serial = _telemetry_run(tmp_path, "serial", jobs=1)
+    parallel = _telemetry_run(tmp_path, "parallel", jobs=4)
+    serial.pop("dir"), parallel.pop("dir")
+    assert parallel == serial
+    assert serial["events"]["sweep.finish"] == 1
+    assert serial["events"]["trial.complete"] \
+        == serial["events"]["trial.dispatch"]
+    assert serial["postmortem"] is None

@@ -1,0 +1,64 @@
+"""Flight recorder: bundle contents, numbering, signal-path safety."""
+
+import json
+
+from repro.obs.live import (POSTMORTEM_SCHEMA, FlightRecorder, RunEventLog)
+
+
+def _log(tmp_path, n=5, ring_size=3):
+    log = RunEventLog(tmp_path / "events.jsonl", "runX", ring_size=ring_size)
+    log.emit("sweep.start")
+    for i in range(n - 1):
+        log.emit("trial.dispatch", k=f"d{i}", attempt=1)
+    return log
+
+
+def test_bundle_holds_ring_manifest_and_tail(tmp_path):
+    log = _log(tmp_path)
+    journal = tmp_path / "sweep.jsonl"
+    journal.write_text('{"t": "plan", "i": 0, "k": "a"}\n'
+                       '{"t": "done", "k": "a", "v": 1.5}\n')
+    recorder = FlightRecorder(log, journal_path=journal,
+                              snapshot=lambda: {"state": "running"})
+    bundle = recorder.dump(tmp_path, "retry-exhaustion",
+                           exc=RuntimeError("boom"))
+
+    manifest = json.loads((bundle / "postmortem.json").read_text())
+    assert manifest["schema"] == POSTMORTEM_SCHEMA
+    assert manifest["reason"] == "retry-exhaustion"
+    assert manifest["run"] == "runX"
+    assert manifest["error"] == "RuntimeError('boom')"
+    assert manifest["status"] == {"state": "running"}
+    assert manifest["contents"] == sorted(
+        ["postmortem.json", "ring.jsonl", "journal_tail.jsonl",
+         "traceback.txt"])
+    # the ring is bounded: only the newest ring_size events survive
+    ring = [json.loads(line)
+            for line in (bundle / "ring.jsonl").read_text().splitlines()]
+    assert len(ring) == 3 and manifest["ring_events"] == 3
+    assert manifest["events_total"] == 5
+    assert ring[-1]["kind"] == "trial.dispatch"
+    assert "done" in (bundle / "journal_tail.jsonl").read_text()
+    assert "RuntimeError: boom" in (bundle / "traceback.txt").read_text()
+
+
+def test_bundles_are_numbered_not_overwritten(tmp_path):
+    recorder = FlightRecorder(_log(tmp_path, n=1))
+    first = recorder.dump(tmp_path, "retry-exhaustion")
+    second = recorder.dump(tmp_path, "sigterm")
+    assert first.name == "postmortem"
+    assert second.name == "postmortem.2"
+    assert json.loads((first / "postmortem.json").read_text())["reason"] \
+        == "retry-exhaustion"
+    assert json.loads((second / "postmortem.json").read_text())["reason"] \
+        == "sigterm"
+    assert recorder.dumps == [first, second]
+
+
+def test_dump_without_journal_exc_or_snapshot(tmp_path):
+    recorder = FlightRecorder(_log(tmp_path, n=2))
+    bundle = recorder.dump(tmp_path, "sigterm")
+    manifest = json.loads((bundle / "postmortem.json").read_text())
+    assert manifest["contents"] == ["postmortem.json", "ring.jsonl"]
+    assert manifest["error"] is None and manifest["status"] is None
+    assert not (bundle / "traceback.txt").exists()

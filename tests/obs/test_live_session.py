@@ -1,0 +1,130 @@
+"""LiveTelemetry session: lifecycle, snapshot, SIGTERM, summary."""
+
+import os
+import signal
+
+import pytest
+
+from repro.obs.live import LiveTelemetry, load_status, read_events
+
+
+def _session(tmp_path, **kwargs):
+    kwargs.setdefault("experiments", ["figX"])
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("heartbeat_s", 0.0)
+    return LiveTelemetry(tmp_path / "telemetry", "runZ", **kwargs)
+
+
+def test_sweep_lifecycle_events_and_final_status(tmp_path):
+    tele = _session(tmp_path)
+    tele.sweep_start()
+    tele.trial_planned(2)
+    tele.trial_dispatch("d0", 1)
+    tele.trial_complete("d0", 1, 5_000_000)
+    tele.trial_cache_hit("fn|x=1", 1)
+    tele.sweep_finish(True)
+    tele.close()
+    kinds = [r["kind"] for r in read_events(tele.dir / "events.jsonl")]
+    assert kinds == ["sweep.start", "trial.dispatch", "trial.complete",
+                     "trial.cache_hit", "sweep.finish"]
+    doc = load_status(tele.dir / "status.json")
+    assert doc["state"] == "finished"
+    assert doc["progress"] == {"planned": 2, "done": 2, "pct": 100.0}
+    assert doc["eta_s"] == 0.0
+    assert (tele.dir / "metrics.prom").read_text().startswith("# HELP")
+
+
+def test_eta_uses_live_costs(tmp_path):
+    tele = _session(tmp_path, jobs=1)
+    tele.trial_planned(3)
+    tele.trial_complete("d0", 1, 2_000_000_000)
+    snapshot = tele.snapshot()
+    assert snapshot["eta_s"] == 4.0        # 2 left x 2s mean / 1 job
+    tele.close()
+
+
+def test_postmortem_marks_failed_and_heartbeats(tmp_path):
+    tele = _session(tmp_path)
+    tele.sweep_start()
+    bundle = tele.postmortem("retry-exhaustion", RuntimeError("x"))
+    tele.close()
+    assert bundle.name == "postmortem"
+    assert (bundle / "traceback.txt").exists()
+    doc = load_status(tele.dir / "status.json")
+    assert doc["state"] == "failed"
+    assert doc["postmortem"] == "postmortem"
+    kinds = [r["kind"] for r in read_events(tele.dir / "events.jsonl")]
+    assert kinds[-1] == "postmortem"
+
+
+def test_sigterm_dumps_bundle_and_exits_143(tmp_path):
+    tele = _session(tmp_path)
+    tele.sweep_start()
+    tele.install_sigterm()
+    try:
+        assert signal.getsignal(signal.SIGTERM) == tele.handle_sigterm
+        with pytest.raises(SystemExit) as info:
+            tele.handle_sigterm(signal.SIGTERM, None)
+        assert info.value.code == 143
+    finally:
+        tele.restore_sigterm()
+        tele.close()
+    assert (tele.dir / "postmortem").is_dir()
+    assert load_status(tele.dir / "status.json")["state"] == "killed"
+    assert signal.getsignal(signal.SIGTERM) != tele.handle_sigterm
+
+
+def test_inherited_handler_in_forked_child_stays_silent(tmp_path):
+    # timeout/kill signal the whole process group, and forked pool
+    # workers inherit the handler + open file handles: a child must die
+    # by plain SIGTERM without narrating into the parent's files
+    tele = _session(tmp_path)
+    tele.sweep_start()
+    pid = os.fork()
+    if pid == 0:
+        try:
+            tele.handle_sigterm(signal.SIGTERM, None)
+        finally:
+            os._exit(99)    # unreachable unless the guard failed
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFSIGNALED(status)
+    assert os.WTERMSIG(status) == signal.SIGTERM
+    tele.close()
+    assert not (tele.dir / "postmortem").exists()
+    kinds = [r["kind"] for r in read_events(tele.dir / "events.jsonl")]
+    assert kinds == ["sweep.start"]
+
+
+def test_summary_is_the_manifest_block(tmp_path):
+    tele = _session(tmp_path)
+    tele.sweep_start()
+    tele.trial_planned(1)
+    tele.trial_dispatch("d0", 1)
+    tele.trial_complete("d0", 1, 1_000_000)
+    tele.sweep_finish(True)
+    tele.close()
+    block = tele.summary()
+    assert block == {
+        "dir": "telemetry",
+        "events_total": 4,
+        "events": {"sweep.finish": 1, "sweep.start": 1,
+                   "trial.complete": 1, "trial.dispatch": 1},
+        "postmortem": None,
+    }
+
+
+def test_worker_and_cache_events(tmp_path):
+    tele = _session(tmp_path)
+    tele.trial_retry("d0", 1, "worker died")
+    tele.trial_timeout("d1", pid=7)
+    tele.worker_death("d0", pid=7)
+    tele.worker_respawn(pid=8)
+    tele.cache_quarantine(3)
+    tele.close()
+    records = read_events(tele.dir / "events.jsonl")
+    by_kind = {r["kind"]: r for r in records}
+    assert by_kind["trial.retry"]["reason"] == "worker died"
+    assert by_kind["trial.timeout"]["pid"] == 7
+    assert by_kind["worker.death"]["k"] == "d0"
+    assert by_kind["worker.respawn"]["pid"] == 8
+    assert by_kind["cache.quarantine"]["entries"] == 3

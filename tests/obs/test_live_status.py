@@ -1,0 +1,55 @@
+"""Heartbeat: ETA math, rate limiting, atomic completeness."""
+
+import json
+
+from repro.obs.live import (STATUS_SCHEMA, STATUS_STATES, StatusWriter,
+                            eta_seconds, load_status)
+
+
+def test_eta_from_mean_cost_per_worker():
+    # 4 remaining, mean cost 2s, 2 workers => 4 seconds
+    assert eta_seconds(4, [1_000_000_000, 3_000_000_000], 2) == 4.0
+    assert eta_seconds(4, [2_000_000_000], 1) == 8.0
+
+
+def test_eta_edge_cases():
+    assert eta_seconds(0, [1_000_000_000], 2) == 0.0   # done
+    assert eta_seconds(-1, [], 1) == 0.0
+    assert eta_seconds(5, [], 4) is None               # nothing to go on
+
+
+def test_writer_stamps_schema_ts_pid(tmp_path):
+    writer = StatusWriter(tmp_path / "status.json", min_interval_s=0.0)
+    assert writer.write({"state": "running", "custom": 7})
+    doc = load_status(tmp_path / "status.json")
+    assert doc["schema"] == STATUS_SCHEMA
+    assert doc["state"] in STATUS_STATES
+    assert doc["custom"] == 7
+    assert isinstance(doc["ts"], float) and isinstance(doc["pid"], int)
+
+
+def test_writer_rate_limits_unless_forced(tmp_path):
+    writer = StatusWriter(tmp_path / "status.json", min_interval_s=60.0)
+    assert writer.write({"n": 1}) is True
+    assert writer.write({"n": 2}) is False            # inside the cadence
+    assert writer.write({"n": 3}, force=True) is True
+    assert load_status(tmp_path / "status.json")["n"] == 3
+    assert writer.writes == 2
+
+
+def test_write_replaces_atomically(tmp_path):
+    path = tmp_path / "status.json"
+    writer = StatusWriter(path, min_interval_s=0.0)
+    writer.write({"n": 1})
+    writer.write({"n": 2})
+    # no temp droppings left behind; document is always complete JSON
+    assert [p.name for p in tmp_path.iterdir()] == ["status.json"]
+    assert json.loads(path.read_text())["n"] == 2
+
+
+def test_load_status_never_raises(tmp_path):
+    assert load_status(tmp_path / "absent.json") is None
+    (tmp_path / "torn.json").write_text('{"state": "runn')
+    assert load_status(tmp_path / "torn.json") is None
+    (tmp_path / "list.json").write_text("[1, 2]")
+    assert load_status(tmp_path / "list.json") is None

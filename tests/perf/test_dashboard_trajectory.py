@@ -1,0 +1,65 @@
+"""Dashboard trajectory labelling: missing vs empty must render apart.
+
+The regression this guards: a family whose BENCH file never recorded a
+``host.trajectory`` section used to render exactly like one whose
+section exists but is empty, so absent recordings hid behind the same
+"empty" cell.  :func:`repro.obs.dashboard.trajectory_state` now gives
+each its own label and :func:`build_dashboard` renders them distinctly.
+"""
+
+import json
+import pathlib
+import shutil
+
+from repro.obs.dashboard import build_dashboard, trajectory_state
+
+RESULTS = pathlib.Path(__file__).resolve().parents[2] / "results"
+
+
+def test_trajectory_state_three_way():
+    assert trajectory_state({}) == "missing"
+    assert trajectory_state({"probe_wall_s": 0.5}) == "missing"
+    assert trajectory_state({"trajectory": []}) == "empty"
+    assert trajectory_state({"trajectory": [{}]}) == "empty"
+    assert trajectory_state({"trajectory": [{"py": "3.11"}]}) == "empty"
+    assert trajectory_state({"trajectory": [{"flag": True}]}) == "empty"
+    assert trajectory_state({"trajectory": [{"wall_s": 0.2}]}) == "ok"
+    assert trajectory_state("not a dict") == "missing"
+
+
+def _mutated_results(tmp_path):
+    """Copy the real BENCH files, then break two families' host blocks."""
+    results = tmp_path / "results"
+    results.mkdir()
+    benches = sorted(RESULTS.glob("BENCH_*.json"))
+    assert len(benches) >= 3
+    for path in benches:
+        shutil.copy(path, results / path.name)
+
+    def rewrite(name, mutate):
+        path = results / name
+        doc = json.loads(path.read_text())
+        mutate(doc)
+        path.write_text(json.dumps(doc) + "\n")
+
+    # both must also lose the flat probe_wall_s fallback, or the
+    # sparkline series is non-empty and no status label renders at all
+    rewrite("BENCH_fig3.json", lambda d: (d["host"].pop("trajectory"),
+                                          d["host"].pop("probe_wall_s")))
+    rewrite("BENCH_fig4.json", lambda d: (d["host"].update(trajectory=[]),
+                                          d["host"].pop("probe_wall_s")))
+    return results
+
+
+def test_dashboard_renders_missing_and_empty_distinctly(tmp_path):
+    html = build_dashboard(_mutated_results(tmp_path))
+    assert '<span class="status missing">missing</span>' in html
+    assert '<span class="status empty">empty</span>' in html
+    assert "no host.trajectory recorded" in html
+    assert "has no numeric entries" in html
+
+
+def test_dashboard_on_pristine_results_has_no_missing_cells():
+    html = build_dashboard(RESULTS)
+    assert '<span class="status missing">missing</span>' not in html
+    assert '<span class="status empty">empty</span>' not in html

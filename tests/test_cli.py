@@ -471,3 +471,76 @@ def test_committed_baselines_pass_the_gate(capsys):
                  "--only", "fig6", "--only", "simcore",
                  "--only", "table1"]) == 0
     assert "3/3 families pass" in capsys.readouterr().out
+
+
+def test_run_with_out_writes_live_telemetry(tmp_path, capsys, monkeypatch):
+    import json
+    import repro.experiments.figure3 as f3
+    monkeypatch.setattr(f3, "QUICK_PAIRS", (1,))
+    assert main(["run", "fig3a", "--out", str(tmp_path)]) == 0
+    telemetry = tmp_path / "telemetry"
+    assert (telemetry / "events.jsonl").exists()
+    assert (telemetry / "metrics.prom").exists()
+    status = json.loads((telemetry / "status.json").read_text())
+    assert status["state"] == "finished"
+    assert status["progress"]["done"] == status["progress"]["planned"] > 0
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["schema"] == 3
+    assert manifest["telemetry"]["dir"] == "telemetry"
+    assert manifest["telemetry"]["events"]["sweep.finish"] == 1
+    assert "telemetry:" in capsys.readouterr().out
+
+
+def test_no_telemetry_flag_disables_the_layer(tmp_path, monkeypatch):
+    import json
+    import repro.experiments.figure3 as f3
+    monkeypatch.setattr(f3, "QUICK_PAIRS", (1,))
+    assert main(["run", "fig3a", "--no-telemetry",
+                 "--out", str(tmp_path)]) == 0
+    assert not (tmp_path / "telemetry").exists()
+    assert "telemetry" not in json.loads(
+        (tmp_path / "manifest.json").read_text())
+
+
+def test_run_without_out_has_no_telemetry_side_effects(capsys):
+    assert main(["run", "table1"]) == 0
+    assert "telemetry:" not in capsys.readouterr().out
+
+
+def test_retry_exhaustion_exits_3_with_postmortem(tmp_path, capsys,
+                                                  monkeypatch):
+    import json
+    import repro.experiments.extensions as ext
+    monkeypatch.setattr(ext, "MODE_PAIRS_AXIS", (1,))
+    assert main(["run", "ext-modes", "--no-cache", "--jobs", "2",
+                 "--flaky-workers", "1.0", "--retries", "0",
+                 "--trial-timeout", "2", "--out", str(tmp_path)]) == 3
+    bundle = tmp_path / "telemetry" / "postmortem"
+    assert (bundle / "postmortem.json").exists()
+    assert json.loads(
+        (bundle / "postmortem.json").read_text())["reason"] \
+        == "retry-exhaustion"
+    status = json.loads(
+        (tmp_path / "telemetry" / "status.json").read_text())
+    assert status["state"] == "failed"
+    err = capsys.readouterr().err
+    assert "run failed" in err and "postmortem" in err
+
+
+def test_top_once_on_a_finished_run(tmp_path, capsys, monkeypatch):
+    import json
+    import repro.experiments.figure3 as f3
+    monkeypatch.setattr(f3, "QUICK_PAIRS", (1,))
+    assert main(["run", "fig3a", "--out", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["top", str(tmp_path), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "state=finished" in out and "trials" in out
+    assert main(["top", str(tmp_path), "--once", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["state"] == "finished"
+
+
+def test_top_once_without_heartbeat_exits_1(tmp_path, capsys):
+    assert main(["top", str(tmp_path), "--once"]) == 1
+    assert "waiting for status.json" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""The telemetry linter must pass real runs and catch seeded corruption.
+
+Drives :mod:`tools.lint_events` against telemetry directories produced
+by a genuine :class:`~repro.obs.live.LiveTelemetry` session, then
+corrupts them one defect at a time -- broken seq, unknown kind,
+counter/event disagreement, malformed prometheus sample -- and asserts
+each corruption is the *only* thing the linter flags.
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.obs.live import LiveTelemetry
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_events import (_check_counter_agreement, lint_dir,  # noqa: E402
+                         lint_events_file, lint_prom_file, lint_status_file,
+                         main)
+
+
+def _finished_run(tmp_path, name="telemetry"):
+    tele = LiveTelemetry(tmp_path / name, "runL", experiments=["figX"],
+                         jobs=2, heartbeat_s=0.0)
+    tele.sweep_start()
+    tele.trial_planned(2)
+    tele.trial_dispatch("d0", 1)
+    tele.trial_retry("d0", 1, "worker died")
+    tele.worker_death("d0", pid=11)
+    tele.worker_respawn(pid=12)
+    tele.trial_dispatch("d0", 2)
+    tele.trial_complete("d0", 2, 1_000_000)
+    tele.trial_dispatch("d1", 1)
+    tele.trial_complete("d1", 1, 2_000_000)
+    tele.sweep_finish(True)
+    tele.close()
+    return tele.dir
+
+
+def test_valid_run_dir_lints_clean(tmp_path):
+    telemetry = _finished_run(tmp_path)
+    problems: list[str] = []
+    summary = lint_dir(telemetry, problems)
+    assert problems == []
+    assert "10 events" in summary and "state=finished" in summary
+    assert main([str(tmp_path)]) == 0     # resolves the parent run dir too
+
+
+def _rewrite_events(telemetry, mutate):
+    path = telemetry / "events.jsonl"
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    mutate(records)
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+def test_catches_broken_seq(tmp_path):
+    telemetry = _finished_run(tmp_path)
+    path = _rewrite_events(telemetry,
+                           lambda rs: rs[3].update(seq=99))
+    problems: list[str] = []
+    lint_events_file(path, problems)
+    assert any("contiguous" in p for p in problems)
+
+
+def test_catches_unknown_kind_and_missing_fingerprint(tmp_path):
+    telemetry = _finished_run(tmp_path)
+
+    def mutate(records):
+        records[2]["kind"] = "trial.teleport"
+        del records[1]["k"]         # a trial.dispatch without its fingerprint
+
+    path = _rewrite_events(telemetry, mutate)
+    problems: list[str] = []
+    lint_events_file(path, problems)
+    assert any("unknown kind 'trial.teleport'" in p for p in problems)
+    assert any("without fingerprint k" in p for p in problems)
+
+
+def test_catches_counter_event_disagreement(tmp_path):
+    telemetry = _finished_run(tmp_path)
+
+    def mutate(records):
+        # no engine was attached, so graft the counters block a real
+        # run's sweep.finish carries -- with a deliberately wrong count
+        assert records[-1]["kind"] == "sweep.finish"
+        records[-1]["counters"] = {"retries": 1, "timeouts": 0,
+                                   "worker_deaths": 7, "respawns": 1}
+
+    path = _rewrite_events(telemetry, mutate)
+    problems: list[str] = []
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    _check_counter_agreement(path, records, problems)
+    assert problems == [f"{path}: sweep.finish counter worker_deaths=7 "
+                        "but 1 worker.death event(s)"]
+
+
+def test_tolerates_torn_final_line_only(tmp_path):
+    telemetry = _finished_run(tmp_path)
+    path = telemetry / "events.jsonl"
+    # kill -9 mid-append legally truncates the last line
+    path.write_text(path.read_text() + '{"schema": 1, "seq"')
+    problems: list[str] = []
+    records = lint_events_file(path, problems)
+    assert problems == [] and len(records) == 10
+    # ...but a torn line mid-file is corruption
+    lines = path.read_text().splitlines()
+    lines[4] = lines[4][:10]
+    path.write_text("".join(line + "\n" for line in lines))
+    problems = []
+    lint_events_file(path, problems)
+    assert any("unparseable line mid-file" in p for p in problems)
+
+
+def test_catches_stale_final_status_total(tmp_path):
+    telemetry = _finished_run(tmp_path)
+    status_path = telemetry / "status.json"
+    doc = json.loads(status_path.read_text())
+    doc["events"]["total"] = 3
+    status_path.write_text(json.dumps(doc))
+    problems: list[str] = []
+    records = lint_events_file(telemetry / "events.jsonl", [])
+    lint_status_file(status_path, records, problems)
+    assert any("reports 3 events but the log holds 10" in p
+               for p in problems)
+
+
+def test_catches_bad_prom_sample_and_untyped_metric(tmp_path):
+    telemetry = _finished_run(tmp_path)
+    prom = telemetry / "metrics.prom"
+    prom.write_text(prom.read_text()
+                    + "Bad-Name{x=1\n"
+                    + "repro_untyped_total 3\n")
+    problems: list[str] = []
+    lint_prom_file(prom, problems)
+    assert any("unparseable sample" in p for p in problems)
+    assert any("repro_untyped_total has no preceding # TYPE" in p
+               for p in problems)
+
+
+def test_main_exit_codes(tmp_path):
+    assert main([]) == 2
+    telemetry = _finished_run(tmp_path)
+    _rewrite_events(telemetry, lambda rs: rs[1].update(schema=99))
+    assert main([str(telemetry)]) == 1
