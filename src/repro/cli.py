@@ -21,6 +21,8 @@ Examples::
     python -m repro analyze trace.json --out results/analysis
     python -m repro perf check
     python -m repro perf update --only fig6 --only fig7
+    python -m repro serve --root served/ --port 8321
+    python -m repro submit fig3a --url http://127.0.0.1:8321 --follow
 
 ``run`` executes its seeded trials through the experiment engine
 (:mod:`repro.engine`): ``--jobs N`` fans independent trials out over N
@@ -65,6 +67,14 @@ representative simulation) or an exported ``trace.json`` (no re-run at
 all) and reconstructs per-message latency decomposition, the critical
 path and lock blame tables; ``--out`` writes the deterministic CSVs +
 text report.
+
+``serve`` runs the long-lived experiment service (:mod:`repro.serve`):
+a stdlib-only HTTP front end over the same engine where N identical
+requests are content-addressed down to one simulation, running jobs
+stream their telemetry over Server-Sent Events, and finished jobs
+serve the byte-exact ``repro run`` artifacts with immutable ETags.
+``submit`` is the matching client: POST one exhibit, optionally
+``--follow`` the event stream, and ``--save DIR`` the artifacts.
 
 ``perf`` is the regression gate (:mod:`repro.perf`): ``check`` re-runs
 every deterministic probe and diffs it against the committed
@@ -267,6 +277,59 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="PATH",
                         help="also write the flamegraph SVG to PATH")
 
+    serve = sub.add_parser(
+        "serve", help="run the HTTP experiment service (dedup + SSE)")
+    serve.add_argument("--root", type=pathlib.Path,
+                       default=pathlib.Path("served"),
+                       help="service state directory: jobs/, .cache/ "
+                            "(default served/)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="port to bind; 0 picks an ephemeral port "
+                            "(default 8321)")
+    serve.add_argument("--jobs", type=_jobs, default=1,
+                       help="worker processes per job's engine (default 1)")
+    serve.add_argument("--workers", type=_jobs, default=2,
+                       help="concurrent jobs (service worker threads, "
+                            "default 2)")
+    serve.add_argument("--queue-limit", type=_jobs, default=32,
+                       help="bounded admission queue size; a full queue "
+                            "answers 503 (default 32)")
+    serve.add_argument("--retries", type=_retries, default=2,
+                       help="supervised retries per trial (default 2)")
+    serve.add_argument("--trial-timeout", type=_timeout, default=None,
+                       metavar="S",
+                       help="per-trial wall-clock limit in seconds")
+    serve.add_argument("--flaky-workers", type=_drop_rate, default=None,
+                       metavar="R",
+                       help="chaos-test served runs: seeded fraction R of "
+                            "first attempts lose their worker; requires "
+                            "--jobs >= 2, artifacts stay byte-identical")
+    serve.add_argument("--flaky-seed", type=int, default=1, metavar="S",
+                       help="seed for --flaky-workers decisions (default 1)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
+    submit = sub.add_parser(
+        "submit", help="submit one experiment to a running service")
+    submit.add_argument("experiment", help="experiment id from 'list'")
+    submit.add_argument("--url", default="http://127.0.0.1:8321",
+                        help="service base URL "
+                             "(default http://127.0.0.1:8321)")
+    submit.add_argument("--full", action="store_true",
+                        help="paper-density parameters (slow)")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream the job's telemetry events (SSE) "
+                             "until it finishes")
+    submit.add_argument("--save", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="wait for the job and download its artifacts "
+                             "into DIR")
+    submit.add_argument("--timeout", type=_timeout, default=600.0,
+                        metavar="S",
+                        help="how long to wait for the job (default 600)")
+
     perf = sub.add_parser(
         "perf", help="deterministic performance baselines (the CI gate)")
     perf.add_argument("action", choices=("check", "update", "list", "report"),
@@ -291,22 +354,14 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _save(fig, out_dir: pathlib.Path) -> None:
-    from repro.util.svg import render_svg
-
-    out_dir.mkdir(parents=True, exist_ok=True)
-    (out_dir / f"{fig.fig_id}.txt").write_text(fig.to_ascii() + "\n")
-    (out_dir / f"{fig.fig_id}.csv").write_text(fig.to_csv())
-    (out_dir / f"{fig.fig_id}.svg").write_text(render_svg(fig))
-
-
 def _emit(result, out_dir) -> None:
-    figures = result if isinstance(result, (list, tuple)) else [result]
-    for fig in figures:
+    from repro.experiments.artifacts import figures_of, save_figure
+
+    for fig in figures_of(result):
         print(fig.to_ascii())
         print()
         if out_dir is not None:
-            _save(fig, out_dir)
+            save_figure(fig, out_dir)
 
 
 def _emit_metrics(exp_id: str, interval_ns: int, out_dir) -> None:
@@ -466,6 +521,67 @@ def _cmd_profile(args) -> int:
             seed=args.seed,
             wall_s=result.host_wall_ns / 1e9)
         print(f"wrote {write_manifest(args.out, manifest)}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the experiment service until interrupted."""
+    from repro.serve import ExperimentServer
+
+    if args.flaky_workers is not None and args.jobs < 2:
+        print("--flaky-workers injects faults into the supervised worker "
+              "pool: use --jobs >= 2", file=sys.stderr)
+        return 2
+    server = ExperimentServer(
+        args.root, host=args.host, port=args.port,
+        quiet=not args.verbose,
+        engine_jobs=args.jobs, workers=args.workers,
+        queue_limit=args.queue_limit, retries=args.retries,
+        trial_timeout=args.trial_timeout,
+        flaky_workers=args.flaky_workers, flaky_seed=args.flaky_seed)
+    print(f"serving on {server.url}  (root: {args.root}; Ctrl-C to stop)")
+    server.serve_forever()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Submit one experiment to a running service; optionally follow."""
+    import json
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    response = client.submit(args.experiment,
+                             params={"quick": not args.full})
+    if response.status not in (200, 201):
+        print(f"submit failed ({response.status}): "
+              f"{response.json().get('error', response.body.decode())}",
+              file=sys.stderr)
+        return 2
+    doc = response.json()
+    job_id = doc["id"]
+    print(f"job {job_id}: {doc['state']}"
+          f"{' (deduplicated)' if doc['deduped'] else ''}")
+    if args.follow:
+        for event, _seq, data in client.events(job_id,
+                                               timeout_s=args.timeout):
+            if event == "end":
+                print(f"-- end: {data['state']}")
+            else:
+                print(json.dumps(data, sort_keys=True))
+    if args.save is not None or not args.follow:
+        final = client.wait(job_id, timeout_s=args.timeout)
+        print(f"job {job_id}: {final['state']}")
+        if final["state"] != "done":
+            print(f"error: {final.get('error')}", file=sys.stderr)
+            return 3
+    if args.save is not None:
+        args.save.mkdir(parents=True, exist_ok=True)
+        listing = client.artifact(job_id)
+        for name in listing.json()["artifacts"]:
+            blob = client.artifact(job_id, name)
+            (args.save / name).write_bytes(blob.body)
+            print(f"saved {args.save / name}")
     return 0
 
 
@@ -721,5 +837,11 @@ def main(argv=None) -> int:
 
     if args.command == "profile":
         return _cmd_profile(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
 
     return _cmd_run(args)

@@ -35,6 +35,9 @@ Layers (each in its own module):
 * :mod:`~repro.engine.engine` -- :class:`Engine` orchestrating journal
   + cache + pool and keeping SPC-style counters (hits, misses,
   resumes, retries, utilization);
+* :mod:`~repro.engine.handle` -- :class:`JobHandle`, the lifecycle
+  wrapper the experiment service schedules sweeps through (state
+  machine, waiters, telemetry callbacks over one engine);
 * :mod:`~repro.engine.bench` -- the ``BENCH_engine.json`` baseline
   writer recording the serial-vs-parallel trajectory;
 * :mod:`~repro.engine.manifest` -- run-provenance ``manifest.json``
@@ -56,6 +59,7 @@ from repro.engine.engine import (
     set_engine,
     use_engine,
 )
+from repro.engine.handle import JOB_STATES, JobHandle
 from repro.engine.journal import SweepJournal, journal_id
 from repro.engine.locks import FileLock, LockTimeout
 from repro.engine.manifest import (
@@ -77,6 +81,8 @@ __all__ = [
     "Engine",
     "EngineCounters",
     "FileLock",
+    "JOB_STATES",
+    "JobHandle",
     "LockTimeout",
     "PoolStats",
     "RetryPolicy",

@@ -37,12 +37,18 @@ the simulation hot loop, and any run without telemetry, is untouched.
 The *ambient* engine (:func:`current_engine`) is what the experiment
 runners use when no engine is passed explicitly; it defaults to serial
 uncached execution, and :func:`use_engine` swaps it for a scope (the
-CLI wraps each ``run`` invocation).
+CLI wraps each ``run`` invocation).  The ambient slot is
+**thread-local**: the experiment service runs several jobs on
+concurrent threads, each under its own ``use_engine``, and a global
+slot would cross-wire their caches, journals and telemetry.  Every
+thread starts with the default serial engine until something scopes
+one in.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -313,22 +319,22 @@ class Engine:
         return text
 
 
-#: the ambient engine used when runners are not handed one explicitly
-_current: Engine | None = None
+#: per-thread ambient engine slot (each serve job thread gets its own)
+_ambient = threading.local()
 
 
 def current_engine() -> Engine:
-    """The ambient engine (serial, uncached unless something swapped it)."""
-    global _current
-    if _current is None:
-        _current = Engine()
-    return _current
+    """This thread's ambient engine (serial/uncached until swapped)."""
+    engine = getattr(_ambient, "engine", None)
+    if engine is None:
+        engine = _ambient.engine = Engine()
+    return engine
 
 
 def set_engine(engine: Engine | None) -> Engine | None:
-    """Replace the ambient engine; returns the previous one."""
-    global _current
-    previous, _current = _current, engine
+    """Replace this thread's ambient engine; returns the previous one."""
+    previous = getattr(_ambient, "engine", None)
+    _ambient.engine = engine
     return previous
 
 

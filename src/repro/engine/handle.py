@@ -1,0 +1,144 @@
+"""Job handles: one unit of engine work with a lifecycle and callbacks.
+
+The CLI runs exactly one sweep per process, so its lifecycle is the
+process's.  The experiment service (:mod:`repro.serve`) runs *many*
+sweeps per process, on concurrent threads, and needs each one to be a
+first-class object: something with a state machine, a completion event
+other threads can wait on, the engine whose counters prove what was
+computed, and the telemetry session subscribers stream from.  A
+:class:`JobHandle` is that object.
+
+A handle owns nothing heavy until :meth:`execute` runs it: the caller
+supplies a thunk (typically ``run_experiment`` under a configured
+engine) and the handle scopes the engine in as this thread's ambient
+engine (:func:`~repro.engine.engine.use_engine` -- thread-local, so
+concurrent handles cannot cross-wire), narrates the sweep through the
+optional duck-typed telemetry session, transitions ``queued ->
+running -> done | failed``, and wakes every waiter exactly once.
+
+Layering: like :class:`~repro.engine.engine.Engine`, this module never
+imports :mod:`repro.obs.live` or :mod:`repro.serve` -- telemetry is
+duck-typed and the result is whatever the thunk returned.  The handle
+is deliberately ignorant of HTTP, artifacts and deduplication; those
+live a layer up in :mod:`repro.serve.jobs`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.engine.engine import Engine, use_engine
+
+#: the legal lifecycle states, in order of first occurrence
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class JobHandle:
+    """One schedulable unit of engine work (see module docs).
+
+    ``fn`` is the zero-argument thunk that produces the job's result;
+    ``engine`` the :class:`~repro.engine.engine.Engine` its trials run
+    through; ``telemetry`` an optional live-telemetry session (duck-
+    typed, already attached to the engine by its constructor).  The
+    handle is safe to share across threads: state transitions happen
+    under a lock and :meth:`wait` blocks on a one-shot event.
+    """
+
+    def __init__(self, job_id: str, fn, engine: Engine | None = None,
+                 telemetry=None, on_finish=None):
+        self.id = job_id
+        self.fn = fn
+        self.engine = engine if engine is not None else Engine()
+        self.telemetry = telemetry
+        self.on_finish = on_finish
+        self.state = "queued"
+        self.result = None
+        self.error: str | None = None
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._finished = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def execute(self):
+        """Run the job on the calling thread; returns its result.
+
+        Exactly-once: a second call raises rather than re-running work
+        that waiters may already have consumed.  Any exception from the
+        thunk marks the job ``failed`` (with the stringified error kept
+        on the handle) and re-raises after waiters are woken.
+        """
+        with self._lock:
+            if self.state != "queued":
+                raise RuntimeError(
+                    f"job {self.id} already {self.state}; handles run once")
+            self.state = "running"
+            self.started_at = time.time()
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.sweep_start()
+        try:
+            with use_engine(self.engine):
+                result = self.fn()
+        except BaseException as exc:
+            with self._lock:
+                self.error = f"{type(exc).__name__}: {exc}"
+                self.state = "failed"
+                self.finished_at = time.time()
+            if telemetry is not None:
+                telemetry.sweep_finish(False)
+                telemetry.close()
+            self._finish()
+            raise
+        with self._lock:
+            self.result = result
+            self.state = "done"
+            self.finished_at = time.time()
+        if telemetry is not None:
+            telemetry.sweep_finish(True)
+            telemetry.close()
+        self._finish()
+        return result
+
+    def _finish(self) -> None:
+        """Fire the completion callback, then wake waiters (once).
+
+        The callback runs first so that anything it persists (the
+        service writes the job's manifest there) is on disk before any
+        waiter observes the terminal state; the event is set in a
+        ``finally`` so a failing callback can never strand waiters.
+        """
+        try:
+            if self.on_finish is not None:
+                self.on_finish(self)
+        finally:
+            self._finished.set()
+
+    # ------------------------------------------------------------------
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job finished; False if ``timeout`` elapsed."""
+        return self._finished.wait(timeout)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal state (done or failed)."""
+        return self._finished.is_set()
+
+    def counters_row(self) -> dict:
+        """The engine's flat counter dict (what served manifests carry)."""
+        return self.engine.counters.as_row()
+
+    def snapshot(self) -> dict:
+        """JSON-able view of the handle (the service's status document)."""
+        with self._lock:
+            doc = {
+                "id": self.id,
+                "state": self.state,
+                "error": self.error,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+            }
+        if self.state in ("done", "failed"):
+            doc["counters"] = self.counters_row()
+        return doc

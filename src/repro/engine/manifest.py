@@ -29,6 +29,16 @@ one was dumped).  Event *counts* are deterministic for a seeded sweep
 function of the plan and the fault seed), so the block participates in
 the same serial-equals-parallel totals property as the counters.
 
+Since schema 4, a sweep executed by the experiment service
+(:mod:`repro.serve`) additionally records a ``served`` block: how many
+client requests mapped onto this job (``requests``), how many were
+answered by deduplication against it (``dedup_hits``) and how many
+cold executions happened (``cold_runs`` -- always 1 per job, by the
+dedup contract).  The ``engine`` block of a served manifest is the
+parity surface: its deterministic counters must equal a ``repro run``
+of the same (exhibit, params) exactly, which the serve test suite
+gates on.
+
 Documents are written with sorted keys and a trailing newline; the
 ``host`` block (wall time, python, busy lists) is informational, while
 the rest is deterministic given the tree and CLI invocation.
@@ -41,7 +51,7 @@ import pathlib
 import platform
 
 #: bump when the manifest layout changes
-MANIFEST_SCHEMA = 3
+MANIFEST_SCHEMA = 4
 
 #: filename written next to artifacts
 MANIFEST_NAME = "manifest.json"
@@ -83,7 +93,8 @@ def engine_provenance(engine) -> dict:
 
 def build_manifest(*, command, experiments, params=None, engine=None,
                    wall_s: float | None = None, seed: int | None = None,
-                   telemetry: dict | None = None) -> dict:
+                   telemetry: dict | None = None,
+                   served: dict | None = None) -> dict:
     """Assemble one provenance document (pass to :func:`write_manifest`).
 
     ``command`` is the argv-style invocation, ``experiments`` the ids
@@ -92,7 +103,9 @@ def build_manifest(*, command, experiments, params=None, engine=None,
     None for engine-less surfaces like ``repro profile``);
     ``telemetry`` is the live session's summary block
     (:meth:`repro.obs.live.session.LiveTelemetry.summary`) when the run
-    had telemetry enabled.
+    had telemetry enabled; ``served`` is the experiment service's
+    request-accounting block (requests / dedup_hits / cold_runs) when
+    the sweep ran inside :mod:`repro.serve`.
     """
     from repro.engine.fingerprint import core_fingerprint
 
@@ -112,6 +125,8 @@ def build_manifest(*, command, experiments, params=None, engine=None,
         doc["wall_s"] = round(wall_s, 3)
     if telemetry is not None:
         doc["telemetry"] = telemetry
+    if served is not None:
+        doc["served"] = served
     return doc
 
 

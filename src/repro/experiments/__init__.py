@@ -11,6 +11,7 @@ See DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
+from repro.experiments.artifacts import figures_of, save_figure, save_result
 from repro.experiments.testbeds import (
     ALEMBERT,
     TESTBEDS,
@@ -40,6 +41,7 @@ __all__ = [
     "TRINITITE_HASWELL",
     "TRINITITE_KNL",
     "Testbed",
+    "figures_of",
     "run_experiment",
     "run_figure3",
     "run_figure4",
@@ -52,4 +54,6 @@ __all__ = [
     "run_message_size_sweep",
     "run_table1",
     "run_table2",
+    "save_figure",
+    "save_result",
 ]

@@ -1,0 +1,52 @@
+"""Artifact writing shared by the CLI and the experiment service.
+
+``repro run <id> --out DIR`` and a served ``POST /experiments`` job
+must emit **byte-identical** files for the same (exhibit, params,
+seed): the service's dedup contract and its stress suite both assert
+it.  The only way to guarantee that is for both paths to call the same
+code, so the renderers live here: one ``<fig_id>.txt`` (ASCII table +
+newline), one ``<fig_id>.csv`` and one ``<fig_id>.svg`` per
+:class:`~repro.util.records.FigureResult`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def figures_of(result) -> list:
+    """Flatten one runner's return value into a list of figures.
+
+    Runners return either a single ``FigureResult`` or a list/tuple of
+    them (``table1`` and multi-panel exhibits); downstream code always
+    wants the flat list.
+    """
+    return list(result) if isinstance(result, (list, tuple)) else [result]
+
+
+def save_figure(fig, out_dir) -> list[pathlib.Path]:
+    """Write one figure's ``.txt``/``.csv``/``.svg``; returns the paths.
+
+    This is the single byte-authority for exhibit artifacts: the CLI's
+    ``--out`` and the service's artifact store both run through it.
+    """
+    from repro.util.svg import render_svg
+
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for suffix, text in ((".txt", fig.to_ascii() + "\n"),
+                         (".csv", fig.to_csv()),
+                         (".svg", render_svg(fig))):
+        path = out_dir / f"{fig.fig_id}{suffix}"
+        path.write_text(text)
+        paths.append(path)
+    return paths
+
+
+def save_result(result, out_dir) -> list[pathlib.Path]:
+    """Write every figure of one runner's result; returns all paths."""
+    paths = []
+    for fig in figures_of(result):
+        paths.extend(save_figure(fig, out_dir))
+    return paths

@@ -13,7 +13,8 @@ wires into the engine.  See ``docs/OBSERVABILITY.md``.
 """
 
 from repro.obs.live.events import (EVENT_KINDS, EVENTS_NAME, EVENTS_SCHEMA,
-                                   HOST_FIELDS, RunEventLog, canonical_line,
+                                   HOST_FIELDS, EventTail, RunEventLog,
+                                   canonical_line, complete_lines,
                                    read_events, trial_digest)
 from repro.obs.live.prom import (PROM_NAME, metric_name, pvars_to_prom,
                                  render_prom)
@@ -25,8 +26,9 @@ from repro.obs.live.status import (STATUS_NAME, STATUS_SCHEMA, STATUS_STATES,
 from repro.obs.live.top import render_frame, resolve_dir, run_top
 
 __all__ = [
-    "EVENT_KINDS", "EVENTS_NAME", "EVENTS_SCHEMA", "HOST_FIELDS",
-    "RunEventLog", "canonical_line", "read_events", "trial_digest",
+    "EVENT_KINDS", "EVENTS_NAME", "EVENTS_SCHEMA", "EventTail",
+    "HOST_FIELDS", "RunEventLog", "canonical_line", "complete_lines",
+    "read_events", "trial_digest",
     "PROM_NAME", "metric_name", "pvars_to_prom", "render_prom",
     "POSTMORTEM_DIR", "POSTMORTEM_SCHEMA", "FlightRecorder",
     "LiveTelemetry", "PoolMonitor",

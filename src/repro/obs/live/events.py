@@ -24,6 +24,14 @@ The writer is single-process by design (only the sweep's parent emits;
 workers report through their pipes), so appends need no lock: each line
 is written and flushed whole, and the reader tolerates a torn final
 line exactly like the sweep journal does.
+
+Readers may also run **while the writer is still appending** -- the
+experiment service streams a job's events to SSE subscribers as the
+engine emits them.  The concurrent-reader discipline is: only bytes up
+to the last newline are records; anything after it is an append in
+flight, to be re-read once complete, never parsed.  :func:`read_events`
+applies that rule to whole-file loads and :class:`EventTail` is the
+incremental (offset-keeping) form for tail-following.
 """
 
 from __future__ import annotations
@@ -84,19 +92,35 @@ def canonical_line(record: dict) -> str:
                        if k not in HOST_FIELDS}, sort_keys=True)
 
 
+def complete_lines(text: str) -> list[str]:
+    """The newline-terminated lines of ``text``.
+
+    A trailing fragment with no newline is an append in flight (live
+    writer) or a torn final line (crash mid-append); either way it is
+    not a record yet and must not be parsed -- a fragment like ``{"seq":
+    1`` could even parse as valid JSON of the wrong shape.
+    """
+    end = text.rfind("\n")
+    if end < 0:
+        return []
+    return text[:end].split("\n")
+
+
 def read_events(path) -> list[dict]:
     """Load every parseable record of an ``events.jsonl`` file.
 
-    A torn final line (crash mid-append) is skipped silently, matching
-    the journal loader's contract; any other unparseable line is
-    skipped too -- the event log must never make a postmortem worse.
+    Only newline-terminated lines are considered (see
+    :func:`complete_lines`), so reading a file mid-append -- torn by a
+    crash or simply still being written -- yields exactly the complete
+    records.  Unparseable complete lines are skipped too: the event log
+    must never make a postmortem worse.
     """
     try:
         text = pathlib.Path(path).read_text()
     except OSError:
         return []
     records = []
-    for line in text.splitlines():
+    for line in complete_lines(text):
         try:
             record = json.loads(line)
         except ValueError:
@@ -104,6 +128,69 @@ def read_events(path) -> list[dict]:
         if isinstance(record, dict):
             records.append(record)
     return records
+
+
+class EventTail:
+    """Incremental reader of a (possibly still-growing) ``events.jsonl``.
+
+    Keeps a byte offset and, on each :meth:`poll`, consumes only the
+    *complete* lines appended since last time -- a partially flushed
+    line stays in the file until its newline arrives, so a concurrent
+    writer can never make the tail yield a torn record.  The file may
+    not exist yet when the tail is constructed (the subscriber can
+    attach before the job's first event); polls simply return nothing
+    until it appears.
+
+    ``min_seq`` filters the yielded records (SSE replay-from-seq: a
+    reconnecting client passes the last ``seq`` it saw + 1).
+    """
+
+    def __init__(self, path, min_seq: int = 0):
+        self.path = pathlib.Path(path)
+        self.min_seq = min_seq
+        self.offset = 0
+
+    def poll(self) -> list[dict]:
+        """All complete records appended since the previous poll."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return []
+        self.offset += end + 1
+        records = []
+        for line in chunk[:end].split(b"\n"):
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and \
+                    record.get("seq", 0) >= self.min_seq:
+                records.append(record)
+        return records
+
+    def follow(self, done, poll_s: float = 0.05, timeout_s: float = 60.0):
+        """Yield records until ``done()`` is true and the file is drained.
+
+        One final poll runs after ``done()`` turns true, so records
+        emitted just before completion are never lost; ``timeout_s``
+        bounds the total wait when the writer never finishes.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            for record in self.poll():
+                yield record
+            if done():
+                break
+            if time.monotonic() >= deadline:
+                return
+            time.sleep(poll_s)
+        for record in self.poll():
+            yield record
 
 
 class RunEventLog:

@@ -1,0 +1,155 @@
+"""A dependency-free HTTP/SSE client for the experiment service.
+
+``repro submit``, CI's serve-smoke job and the test suites all talk to
+the service through this one class, built on :mod:`http.client` only.
+Each call opens its own connection (the server speaks HTTP/1.0 and
+closes per response; an SSE stream *is* one connection read to EOF),
+so a single client instance is safe to share across threads -- which
+is exactly how the stress tests use it.
+
+Responses come back as :class:`ServeResponse` -- status, headers, and
+the decoded JSON body (or raw bytes for artifacts) -- rather than
+raising on 4xx/5xx, because the error surface (400/404/409/503) is
+part of the contract under test.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from urllib.parse import urlsplit
+
+from repro.serve.sse import parse_sse
+
+
+@dataclass
+class ServeResponse:
+    """One HTTP exchange: status, headers, raw body, lazy JSON."""
+
+    status: int
+    headers: dict
+    body: bytes = b""
+    _json: object = field(default=None, repr=False)
+
+    def json(self):
+        """The body decoded as JSON (cached; raises on non-JSON)."""
+        if self._json is None:
+            self._json = json.loads(self.body.decode())
+        return self._json
+
+    @property
+    def etag(self) -> str | None:
+        """The response's ETag header, if any."""
+        return self.headers.get("etag")
+
+
+class ServeClient:
+    """Talk to one :class:`~repro.serve.server.ExperimentServer`.
+
+    ``base_url`` is the server's ``http://host:port``; ``timeout_s``
+    bounds each socket operation (SSE streams pass their own, longer
+    bound).
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        split = urlsplit(base_url)
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout_s = timeout_s
+
+    # -- plumbing -------------------------------------------------------
+    def request(self, method: str, path: str, body: dict | None = None,
+                headers: dict | None = None) -> ServeResponse:
+        """One complete request/response exchange on a new connection."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            payload = None
+            send_headers = dict(headers or {})
+            if body is not None:
+                payload = json.dumps(body).encode()
+                send_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=send_headers)
+            response = conn.getresponse()
+            return ServeResponse(
+                status=response.status,
+                headers={k.lower(): v for k, v in response.getheaders()},
+                body=response.read())
+        finally:
+            conn.close()
+
+    # -- endpoints ------------------------------------------------------
+    def healthz(self) -> ServeResponse:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """``GET /stats`` decoded (raises unless 200)."""
+        response = self.request("GET", "/stats")
+        if response.status != 200:
+            raise RuntimeError(f"/stats -> {response.status}")
+        return response.json()
+
+    def submit(self, exhibit: str, params: dict | None = None
+               ) -> ServeResponse:
+        """``POST /experiments`` (201 cold / 200 deduped / 4xx / 503)."""
+        doc = {"exhibit": exhibit}
+        if params is not None:
+            doc["params"] = params
+        return self.request("POST", "/experiments", body=doc)
+
+    def status(self, job_id: str) -> ServeResponse:
+        """``GET /experiments/<id>``."""
+        return self.request("GET", f"/experiments/{job_id}")
+
+    def artifact(self, job_id: str, name: str | None = None,
+                 etag: str | None = None) -> ServeResponse:
+        """``GET /artifacts/<id>[/<name>]``; pass ``etag`` for 304s."""
+        path = f"/artifacts/{job_id}/" + (name or "")
+        headers = {"If-None-Match": etag} if etag else None
+        return self.request("GET", path, headers=headers)
+
+    def wait(self, job_id: str, timeout_s: float = 120.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll the status endpoint until the job reaches a terminal state.
+
+        Returns the final status document; raises on timeout or when
+        the job id is unknown.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            response = self.status(job_id)
+            if response.status != 200:
+                raise RuntimeError(
+                    f"/experiments/{job_id} -> {response.status}")
+            doc = response.json()
+            if doc["state"] in ("done", "failed"):
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after "
+                    f"{timeout_s}s")
+            time.sleep(poll_s)
+
+    def events(self, job_id: str, from_seq: int = 0,
+               timeout_s: float = 300.0):
+        """Stream ``GET /experiments/<id>/events`` as parsed SSE tuples.
+
+        Yields ``(event, id, data)`` until the server closes the
+        stream (after its ``end`` frame).  ``from_seq`` requests replay
+        from that sequence number.
+        """
+        conn = HTTPConnection(self.host, self.port, timeout=timeout_s)
+        try:
+            path = f"/experiments/{job_id}/events"
+            if from_seq:
+                path += f"?from={from_seq}"
+            conn.request("GET", path)
+            response = conn.getresponse()
+            if response.status != 200:
+                raise RuntimeError(f"{path} -> {response.status}: "
+                                   f"{response.read().decode()}")
+            yield from parse_sse(iter(response.readline, b""))
+        finally:
+            conn.close()

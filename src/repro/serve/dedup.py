@@ -1,0 +1,117 @@
+"""Request canonicalization: the service's content-addressing layer.
+
+Two clients asking for the same exhibit with the same parameters --
+however they spell the JSON -- must map to one job.  The mapping reuses
+the engine's own canonical param encoding
+(:func:`repro.engine.task.canonical`): dict keys sort, scalars encode
+as JSON, so ``{"quick": true}`` and a differently-ordered body produce
+the same canonical text.  The request digest folds in the **code
+fingerprint** (:func:`repro.engine.fingerprint.core_fingerprint`),
+matching the trial cache's invalidation rule: edit the simulator and
+requests address fresh jobs; edit docs or the server and they do not.
+
+Validation is strict by design -- the service's 4xx surface:
+
+* unknown exhibit ids raise :class:`UnknownExhibit` (HTTP 404);
+* a non-dict params document, unknown param names, or wrongly typed
+  values raise :class:`BadRequest` (HTTP 400).
+
+The accepted parameter surface is :data:`PARAM_TYPES` (currently just
+``quick``); defaults are filled in before canonicalization so an
+omitted param and its explicit default are the *same* request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.engine.task import canonical
+
+#: accepted request params: name -> (type, default)
+PARAM_TYPES = {
+    "quick": (bool, True),
+}
+
+#: hex digits of the request digest used as the job id / artifact hash
+DIGEST_LEN = 16
+
+
+class BadRequest(ValueError):
+    """The request body does not validate (HTTP 400)."""
+
+
+class UnknownExhibit(BadRequest):
+    """The requested exhibit id is not registered (HTTP 404)."""
+
+
+@dataclass(frozen=True)
+class RequestKey:
+    """One canonicalized experiment request.
+
+    ``canon`` is the deterministic text the digest hashes (exhibit +
+    canonical params + code fingerprint); ``digest`` is the job id,
+    artifact-URL hash and ETag key all in one.
+    """
+
+    exhibit: str
+    params: tuple
+    canon: str
+    digest: str
+
+    def params_dict(self) -> dict:
+        """The normalized params as a plain keyword dict."""
+        return dict(self.params)
+
+
+def normalize_params(params) -> dict:
+    """Validate ``params`` against :data:`PARAM_TYPES`; fill defaults.
+
+    Raises :class:`BadRequest` on a non-dict document, an unknown
+    param, or a value of the wrong type (bool is checked exactly --
+    JSON's 1/0 are not accepted where true/false is meant).
+    """
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise BadRequest(f"params must be an object, got "
+                         f"{type(params).__name__}")
+    unknown = sorted(set(params) - set(PARAM_TYPES))
+    if unknown:
+        raise BadRequest(f"unknown param(s) {', '.join(unknown)} "
+                         f"(accepted: {', '.join(sorted(PARAM_TYPES))})")
+    normalized = {}
+    for name, (kind, default) in sorted(PARAM_TYPES.items()):
+        value = params.get(name, default)
+        if kind is bool and not isinstance(value, bool) or \
+                kind is not bool and not isinstance(value, kind):
+            raise BadRequest(f"param {name!r} must be "
+                             f"{kind.__name__}, got {value!r}")
+        normalized[name] = value
+    return normalized
+
+
+def request_key(exhibit, params=None) -> RequestKey:
+    """Canonicalize one request; raises the 4xx exceptions on bad input.
+
+    The digest is ``sha256(exhibit|canonical-params|code)`` truncated
+    to :data:`DIGEST_LEN` hex digits -- long enough that collisions are
+    not a practical concern for a job index, short enough to read in a
+    URL.
+    """
+    from repro.engine.fingerprint import core_fingerprint
+    from repro.experiments.registry import EXPERIMENTS
+
+    if not isinstance(exhibit, str) or not exhibit:
+        raise BadRequest(f"exhibit must be a non-empty string, "
+                         f"got {exhibit!r}")
+    if exhibit not in EXPERIMENTS:
+        raise UnknownExhibit(f"unknown exhibit {exhibit!r}; "
+                             f"known: {', '.join(sorted(EXPERIMENTS))}")
+    normalized = normalize_params(params)
+    canon_params = canonical(normalized)
+    canon = f"{exhibit}|{canon_params}|code={core_fingerprint()}"
+    digest = hashlib.sha256(canon.encode()).hexdigest()[:DIGEST_LEN]
+    return RequestKey(exhibit=exhibit,
+                      params=tuple(sorted(normalized.items())),
+                      canon=canon, digest=digest)

@@ -1,0 +1,137 @@
+"""JobHandle: exactly-once lifecycle, callback ordering, engine scoping."""
+
+import threading
+
+import pytest
+
+from repro.engine import Engine, JobHandle, current_engine
+
+
+def test_lifecycle_and_result():
+    handle = JobHandle("j1", lambda: 42)
+    assert handle.state == "queued" and not handle.finished
+    assert handle.execute() == 42
+    assert handle.state == "done"
+    assert handle.result == 42 and handle.error is None
+    assert handle.finished and handle.wait(timeout=0)
+    assert handle.finished_at >= handle.started_at
+
+
+def test_execute_is_exactly_once():
+    handle = JobHandle("j1", lambda: 1)
+    handle.execute()
+    with pytest.raises(RuntimeError, match="already done"):
+        handle.execute()
+
+
+def test_failure_keeps_the_error_and_wakes_waiters():
+    def boom():
+        raise ValueError("scripted")
+
+    handle = JobHandle("j1", boom)
+    with pytest.raises(ValueError):
+        handle.execute()
+    assert handle.state == "failed"
+    assert handle.error == "ValueError: scripted"
+    assert handle.finished
+    with pytest.raises(RuntimeError, match="already failed"):
+        handle.execute()
+
+
+def test_thunk_runs_under_the_handles_engine():
+    engine = Engine(jobs=1)
+    handle = JobHandle("j1", lambda: current_engine(), engine=engine)
+    assert handle.execute() is engine
+    assert current_engine() is not engine      # scope restored after
+
+
+def test_concurrent_handles_do_not_cross_wire_engines():
+    # the tentpole-enabling refactor: ambient engines are thread-local
+    engines = {name: Engine(jobs=1) for name in ("a", "b")}
+    seen = {}
+    inside = threading.Barrier(2)
+
+    def body(name):
+        inside.wait()                          # both threads mid-execute
+        seen[name] = current_engine()
+        inside.wait()
+        return name
+
+    handles = {name: JobHandle(name, lambda n=name: body(n),
+                               engine=engines[name])
+               for name in engines}
+    threads = [threading.Thread(target=handles[name].execute)
+               for name in engines]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert seen["a"] is engines["a"]
+    assert seen["b"] is engines["b"]
+
+
+def test_on_finish_runs_before_waiters_wake():
+    order = []
+    done = threading.Event()
+    handle = JobHandle("j1", lambda: "x",
+                       on_finish=lambda h: order.append("callback"))
+
+    def waiter():
+        handle.wait(timeout=30)
+        order.append("waiter")
+        done.set()
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    handle.execute()
+    assert done.wait(timeout=30)
+    thread.join()
+    assert order == ["callback", "waiter"]
+
+
+def test_failing_on_finish_cannot_strand_waiters():
+    def bad_callback(handle):
+        raise RuntimeError("callback bug")
+
+    handle = JobHandle("j1", lambda: 1, on_finish=bad_callback)
+    with pytest.raises(RuntimeError, match="callback bug"):
+        handle.execute()
+    assert handle.finished                     # event set despite the raise
+    assert handle.state == "done"              # the job itself succeeded
+
+
+def test_snapshot_reports_counters_only_when_terminal():
+    handle = JobHandle("j1", lambda: 1)
+    assert "counters" not in handle.snapshot()
+    handle.execute()
+    snap = handle.snapshot()
+    assert snap["state"] == "done"
+    assert "trials" in snap["counters"]
+
+
+class _FakeTelemetry:
+    """Records the telemetry calls a handle makes, in order."""
+
+    def __init__(self):
+        self.calls = []
+
+    def sweep_start(self):
+        self.calls.append("start")
+
+    def sweep_finish(self, ok):
+        self.calls.append(("finish", ok))
+
+    def close(self):
+        self.calls.append("close")
+
+
+def test_telemetry_narration_on_success_and_failure():
+    telemetry = _FakeTelemetry()
+    JobHandle("j1", lambda: 1, telemetry=telemetry).execute()
+    assert telemetry.calls == ["start", ("finish", True), "close"]
+
+    telemetry = _FakeTelemetry()
+    handle = JobHandle("j2", lambda: 1 / 0, telemetry=telemetry)
+    with pytest.raises(ZeroDivisionError):
+        handle.execute()
+    assert telemetry.calls == ["start", ("finish", False), "close"]

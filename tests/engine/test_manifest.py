@@ -67,14 +67,22 @@ def test_parallel_counters_merge_to_serial_totals():
     assert deterministic(parallel) == deterministic(serial)
 
 
-def test_manifest_schema_3_records_telemetry_block():
+def test_manifest_schema_records_telemetry_block():
     doc = build_manifest(command=["x"], experiments=["e"],
                          telemetry={"dir": "telemetry", "events_total": 4,
                                     "events": {"sweep.start": 1},
                                     "postmortem": None})
-    assert doc["schema"] == MANIFEST_SCHEMA == 3
+    assert doc["schema"] == MANIFEST_SCHEMA == 4
     assert doc["telemetry"]["events_total"] == 4
     assert "telemetry" not in build_manifest(command=["x"], experiments=["e"])
+
+
+def test_manifest_schema_4_records_served_block():
+    served = {"requests": 7, "dedup_hits": 6, "cold_runs": 1}
+    doc = build_manifest(command=["x"], experiments=["e"], served=served)
+    assert doc["schema"] == MANIFEST_SCHEMA == 4
+    assert doc["served"] == served
+    assert "served" not in build_manifest(command=["x"], experiments=["e"])
 
 
 def _telemetry_run(tmp_path, name, jobs):

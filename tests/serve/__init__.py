@@ -1,0 +1,1 @@
+"""The experiment-service suite: dedup, HTTP contract, stress."""

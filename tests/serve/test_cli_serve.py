@@ -1,0 +1,46 @@
+"""The CLI client path: ``repro submit`` against a live service."""
+
+from repro.cli import main
+
+
+def test_submit_waits_and_reports(serve_factory, capsys):
+    server, _client = serve_factory()
+    assert main(["submit", "table1", "--url", server.url]) == 0
+    out = capsys.readouterr().out
+    assert "queued" in out or "running" in out or "done" in out
+    assert out.count("done") >= 1
+
+
+def test_submit_save_downloads_byte_exact_artifacts(
+        serve_factory, tmp_path, capsys):
+    server, client = serve_factory()
+    save = tmp_path / "downloaded"
+    assert main(["submit", "table1", "--url", server.url,
+                 "--save", str(save)]) == 0
+    capsys.readouterr()
+    assert (save / "table1.csv").is_file()
+    assert (save / "manifest.json").is_file()
+    job_id = client.submit("table1").json()["id"]
+    assert (save / "table1.csv").read_bytes() \
+        == client.artifact(job_id, "table1.csv").body
+
+
+def test_submit_follow_streams_the_event_log(serve_factory, capsys):
+    server, _client = serve_factory()
+    assert main(["submit", "table1", "--url", server.url,
+                 "--follow"]) == 0
+    out = capsys.readouterr().out
+    assert '"kind": "sweep.start"' in out
+    assert '"kind": "sweep.finish"' in out
+    assert "-- end: done" in out
+
+
+def test_submit_unknown_exhibit_fails_cleanly(serve_factory, capsys):
+    server, _client = serve_factory()
+    assert main(["submit", "nope", "--url", server.url]) == 2
+    assert "unknown exhibit" in capsys.readouterr().err
+
+
+def test_serve_rejects_flaky_without_parallel_engine(capsys):
+    assert main(["serve", "--flaky-workers", "0.5"]) == 2
+    assert "--jobs >= 2" in capsys.readouterr().err

@@ -1,0 +1,72 @@
+"""Request canonicalization: one content address per logical request."""
+
+import pytest
+
+import repro.serve.dedup as dedup
+from repro.serve.dedup import (BadRequest, UnknownExhibit, normalize_params,
+                               request_key)
+
+
+def test_key_order_is_canonicalized_away(monkeypatch):
+    # two params so key order is observable at all; dict literals keep
+    # insertion order, the canonical encoding must not
+    monkeypatch.setitem(dedup.PARAM_TYPES, "alpha", (int, 0))
+    ab = request_key("table1", {"alpha": 1, "quick": True})
+    ba = request_key("table1", {"quick": True, "alpha": 1})
+    assert ab.digest == ba.digest
+    assert ab.canon == ba.canon
+
+
+def test_omitted_param_equals_explicit_default():
+    explicit = request_key("table1", {"quick": True})
+    assert request_key("table1", {}).digest == explicit.digest
+    assert request_key("table1", None).digest == explicit.digest
+    assert request_key("table1").digest == explicit.digest
+
+
+def test_different_params_and_exhibits_get_different_digests():
+    quick = request_key("table1", {"quick": True})
+    assert request_key("table1", {"quick": False}).digest != quick.digest
+    assert request_key("table2", {"quick": True}).digest != quick.digest
+
+
+def test_digest_shape_and_key_contents():
+    key = request_key("table1", {"quick": False})
+    assert len(key.digest) == dedup.DIGEST_LEN
+    assert int(key.digest, 16) >= 0     # hex, parseable
+    assert key.exhibit == "table1"
+    assert key.params_dict() == {"quick": False}
+    assert "table1" in key.canon and "code=" in key.canon
+
+
+def test_digest_folds_in_the_code_fingerprint(monkeypatch):
+    import repro.engine.fingerprint as fp
+
+    before = request_key("table1").digest
+    monkeypatch.setattr(fp, "core_fingerprint", lambda: "not-the-code")
+    assert request_key("table1").digest != before
+
+
+def test_unknown_exhibit_is_a_404(monkeypatch):
+    with pytest.raises(UnknownExhibit, match="unknown exhibit 'nope'"):
+        request_key("nope")
+    with pytest.raises(BadRequest, match="non-empty string"):
+        request_key(None)
+    with pytest.raises(BadRequest, match="non-empty string"):
+        request_key("")
+
+
+def test_bad_params_are_400s():
+    with pytest.raises(BadRequest, match="must be an object"):
+        normalize_params([1, 2])
+    with pytest.raises(BadRequest, match="unknown param"):
+        normalize_params({"zap": 1})
+    # exact bool check: JSON 1/0 must not pass for true/false
+    with pytest.raises(BadRequest, match="'quick' must be bool"):
+        normalize_params({"quick": 1})
+
+
+def test_unknown_exhibit_subclasses_bad_request():
+    # the HTTP layer catches BadRequest last; UnknownExhibit must be
+    # catchable first
+    assert issubclass(UnknownExhibit, BadRequest)

@@ -485,7 +485,7 @@ def test_run_with_out_writes_live_telemetry(tmp_path, capsys, monkeypatch):
     assert status["state"] == "finished"
     assert status["progress"]["done"] == status["progress"]["planned"] > 0
     manifest = json.loads((tmp_path / "manifest.json").read_text())
-    assert manifest["schema"] == 3
+    assert manifest["schema"] == 4
     assert manifest["telemetry"]["dir"] == "telemetry"
     assert manifest["telemetry"]["events"]["sweep.finish"] == 1
     assert "telemetry:" in capsys.readouterr().out

@@ -39,11 +39,17 @@ _SAMPLE = re.compile(r"^[a-z_][a-z0-9_]*(\{[^{}]*\})? \S+$")
 
 
 def lint_events_file(path: pathlib.Path, problems: list[str]) -> list[dict]:
-    """Validate one ``events.jsonl``; returns its parsed records."""
-    from repro.obs.live import EVENT_KINDS, EVENTS_SCHEMA
+    """Validate one ``events.jsonl``; returns its parsed records.
+
+    The file may have a live writer: only newline-terminated lines are
+    records (a trailing fragment is an append in flight -- or the torn
+    final line of a ``kill -9`` -- and is skipped without complaint,
+    exactly as :func:`repro.obs.live.read_events` skips it).
+    """
+    from repro.obs.live import EVENT_KINDS, EVENTS_SCHEMA, complete_lines
 
     try:
-        lines = path.read_text().splitlines()
+        lines = complete_lines(path.read_text())
     except OSError as exc:
         problems.append(f"{path}: unreadable ({exc})")
         return []

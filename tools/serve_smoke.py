@@ -1,0 +1,93 @@
+"""CI smoke driver for the experiment service (`repro serve`).
+
+Fires 8 concurrent *identical* submissions plus 4 *distinct* ones at a
+running service through the stdlib client, waits for every job, and
+asserts the service's two load contracts end to end:
+
+* the identical batch costs exactly one cold simulation (one 201, the
+  rest 200-deduplicated, one job id);
+* ``/stats`` accounts for every request -- one cold run per distinct
+  digest, everything else a dedup hit (the identical batch's exhibit
+  reappears in the distinct batch, so completed-job dedup is exercised
+  too).
+
+Exits non-zero with a diagnostic on any violation.  Usage::
+
+    python tools/serve_smoke.py --url http://127.0.0.1:8321
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+#: the identical batch: one exhibit, eight simultaneous requests
+IDENTICAL = ("ext-modes", 8)
+
+#: the distinct batch; ext-modes dedups against the identical batch
+DISTINCT = ("table1", "ext-modes", "ext-latency", "ext-instances")
+
+
+def run_smoke(url: str, timeout_s: float = 600.0) -> dict:
+    """Drive the fan-out against ``url``; returns the final /stats doc.
+
+    Raises ``AssertionError`` (with context) on any contract violation.
+    """
+    from repro.serve import ServeClient
+
+    client = ServeClient(url)
+    exhibit, copies = IDENTICAL
+    with ThreadPoolExecutor(max_workers=copies + len(DISTINCT)) as pool:
+        identical = list(pool.map(
+            lambda _: client.submit(exhibit, {"quick": True}),
+            range(copies)))
+        distinct = list(pool.map(
+            lambda e: client.submit(e, {"quick": True}), DISTINCT))
+
+    statuses = sorted(r.status for r in identical)
+    assert statuses == [200] * (copies - 1) + [201], \
+        f"identical batch statuses: {statuses}"
+    ids = {r.json()["id"] for r in identical}
+    assert len(ids) == 1, f"identical batch fanned out to {ids}"
+    for response in distinct:
+        assert response.status in (200, 201), \
+            f"distinct submission refused: {response.status} " \
+            f"{response.body.decode()}"
+
+    job_ids = ids | {r.json()["id"] for r in distinct}
+    for job_id in sorted(job_ids):
+        final = client.wait(job_id, timeout_s=timeout_s)
+        assert final["state"] == "done", f"job {job_id}: {final}"
+
+    stats = client.stats()
+    requests = copies + len(DISTINCT)
+    cold = len(set(DISTINCT) | {exhibit})
+    assert stats["requests"] == requests, stats
+    assert stats["cold_runs"] == cold, \
+        f"expected {cold} cold simulations, engine ran " \
+        f"{stats['cold_runs']}: {stats}"
+    assert stats["dedup_hits"] == requests - cold, stats
+    assert stats["rejected"] == 0, stats
+    return stats
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8321",
+                        help="service base URL")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-job wait bound in seconds")
+    args = parser.parse_args(argv)
+    try:
+        stats = run_smoke(args.url, timeout_s=args.timeout)
+    except AssertionError as exc:
+        print(f"serve smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(f"serve smoke ok: {stats}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
